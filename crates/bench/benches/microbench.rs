@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks for every substrate's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use squirrel_bootsim::{Backend, BootSim, DedupVolumeParams};
+use squirrel_compress::{compress, decompress, Codec};
+use squirrel_core::paper_scale_trace;
+use squirrel_curvefit::{fit_linear, fit_mmf};
+use squirrel_dataset::{Corpus, CorpusConfig};
+use squirrel_hash::{sha256, ContentHash};
+use squirrel_qcow::{CorCache, CowImage, MemDisk, VirtualDisk};
+use squirrel_zfs::{PoolConfig, ZPool};
+
+fn content_block(n: usize) -> Vec<u8> {
+    // Mixed texture matching corpus content (compressible + filler).
+    let corpus = Corpus::generate(CorpusConfig::test_corpus(1, 5));
+    let img = corpus.image(0);
+    let mut buf = vec![0u8; n];
+    img.read_at(0, &mut buf);
+    buf
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for size in [4096usize, 65536] {
+        let data = content_block(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(d))
+        });
+        g.bench_with_input(BenchmarkId::new("content_hash_short", size), &data, |b, d| {
+            b.iter(|| ContentHash::of(d).short())
+        });
+    }
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress");
+    let data = content_block(65536);
+    for codec in [Codec::Gzip(6), Codec::Gzip(9), Codec::Lzjb, Codec::Lz4] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("compress", codec.name()), &data, |b, d| {
+            b.iter(|| compress(codec, d))
+        });
+        let frame = compress(codec, &data);
+        g.bench_with_input(BenchmarkId::new("decompress", codec.name()), &frame, |b, f| {
+            b.iter(|| decompress(f, data.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset");
+    let corpus = Corpus::generate(CorpusConfig::test_corpus(4, 9));
+    let img = corpus.image(0);
+    g.throughput(Throughput::Bytes(65536));
+    g.bench_function("image_block_64k", |b| {
+        let mut idx = 0u64;
+        b.iter(|| {
+            let blk = img.block(65536, idx % img.nonzero_blocks(65536));
+            idx += 1;
+            blk
+        })
+    });
+    g.finish();
+}
+
+fn bench_zfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zfs");
+    let block = content_block(16384);
+    g.throughput(Throughput::Bytes(block.len() as u64));
+    g.bench_function("write_block_unique", |b| {
+        let mut pool = ZPool::new(PoolConfig::new(16384, Codec::Lz4));
+        pool.create_file("f");
+        let mut i = 0u64;
+        let mut blk = block.clone();
+        b.iter(|| {
+            blk[0] = blk[0].wrapping_add(1); // force uniqueness
+            pool.write_block("f", i % 4096, &blk);
+            i += 1;
+        })
+    });
+    g.bench_function("write_block_dedup_hit", |b| {
+        let mut pool = ZPool::new(PoolConfig::new(16384, Codec::Lz4));
+        pool.create_file("f");
+        pool.write_block("f", 0, &block);
+        let mut i = 1u64;
+        b.iter(|| {
+            pool.write_block("f", 1 + i % 4096, &block);
+            i += 1;
+        })
+    });
+    g.bench_function("snapshot_send_recv", |b| {
+        b.iter(|| {
+            let mut src = ZPool::new(PoolConfig::new(16384, Codec::Lz4));
+            src.create_file("f");
+            for i in 0..8u64 {
+                let mut blk = block.clone();
+                blk[1] = i as u8;
+                src.write_block("f", i, &blk);
+            }
+            src.snapshot("s");
+            let stream = src.send_between(None, "s").expect("send");
+            let mut dst = ZPool::new(PoolConfig::new(16384, Codec::Lz4));
+            dst.recv(&stream).expect("recv");
+            dst
+        })
+    });
+    g.finish();
+}
+
+fn bench_qcow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qcow");
+    let base: Vec<u8> = content_block(1 << 20);
+    g.throughput(Throughput::Bytes(65536));
+    g.bench_function("cow_chain_read_64k", |b| {
+        let mut chain = CowImage::new(CorCache::new(MemDisk::new(base.clone()), 65536));
+        let mut buf = vec![0u8; 65536];
+        let mut off = 0u64;
+        b.iter(|| {
+            chain.read_at(off % (1 << 20), &mut buf);
+            off += 65536;
+        })
+    });
+    g.finish();
+}
+
+fn bench_bootsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bootsim");
+    let trace = paper_scale_trace(132 << 20, 1);
+    let sim = BootSim::new();
+    g.bench_function("boot_dedup_volume_132mb_ws", |b| {
+        b.iter(|| sim.boot(&trace, &Backend::DedupVolume(DedupVolumeParams::new(65536))))
+    });
+    g.bench_function("boot_baseline_132mb_ws", |b| {
+        b.iter(|| sim.boot(&trace, &Backend::BaseImageXfs { image_bytes: 27 << 30 }))
+    });
+    g.finish();
+}
+
+fn bench_curvefit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("curvefit");
+    let xs: Vec<f64> = (1..=300).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.05 * x + (x * 0.1).sin() * 0.01).collect();
+    g.bench_function("fit_linear_300pts", |b| b.iter(|| fit_linear(&xs, &ys)));
+    g.bench_function("fit_mmf_300pts", |b| b.iter(|| fit_mmf(&xs, &ys)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_compress,
+    bench_dataset,
+    bench_zfs,
+    bench_qcow,
+    bench_bootsim,
+    bench_curvefit
+);
+criterion_main!(benches);

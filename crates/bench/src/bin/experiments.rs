@@ -1,0 +1,153 @@
+//! `squirrel-experiments`: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! squirrel-experiments <command> [--images N] [--scale S] [--seed S]
+//!                                [--out DIR] [--threads T]
+//!
+//! commands:
+//!   table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13
+//!   fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows all smoke
+//! ```
+//!
+//! Defaults (96 images at 1/512 volume) finish in minutes in release
+//! mode; pass `--images 607 --scale 512` for a fuller run. Every byte
+//! quantity is printed both as measured and as the paper-volume projection.
+
+use squirrel_bench::experiments::{ablations, boottime, extrapolate, network, storage, sweeps, whatif};
+use squirrel_bench::ExperimentConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: squirrel-experiments <command> [--images N] [--scale S] [--seed S] [--out DIR] [--threads T]\n\
+         commands: table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13\n\
+         \u{20}         fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows all smoke"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config(args: &[String]) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1).map(|s| s.as_str()).unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--images" => cfg.images = value(i).parse().unwrap_or_else(|_| usage()),
+            "--scale" => cfg.scale = value(i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value(i).parse().unwrap_or_else(|_| usage()),
+            "--out" => cfg.out_dir = Some(value(i).to_string()),
+            "--threads" => cfg.threads = value(i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let cfg = parse_config(&args[1..]);
+    eprintln!(
+        "# corpus: {} images, scale 1/{}, seed {} (projection x{:.0})",
+        cfg.images,
+        cfg.scale,
+        cfg.seed,
+        cfg.projection()
+    );
+
+    let disk_bs = [16 * 1024usize, 32 * 1024, 64 * 1024, 128 * 1024];
+    match cmd.as_str() {
+        "table1" => {
+            sweeps::run_table1(&cfg);
+        }
+        "table2" => {
+            sweeps::run_table2(&cfg);
+        }
+        "fig2" => {
+            sweeps::run_fig2(&cfg);
+        }
+        "fig3" => {
+            sweeps::run_fig3(&cfg);
+        }
+        "fig4" => {
+            sweeps::run_fig4(&cfg);
+        }
+        "fig8" | "fig9" | "fig10" => {
+            storage::run_fig8_9_10(&cfg);
+        }
+        "fig11" => {
+            boottime::run_fig11(&cfg);
+        }
+        "fig12" => {
+            sweeps::run_fig12(&cfg);
+        }
+        "fig13" => {
+            storage::run_fig13(&cfg);
+        }
+        "fig14" | "fig15" => {
+            extrapolate::run_extrapolation(&cfg, extrapolate::Resource::DiskBytes, &disk_bs, 3000);
+        }
+        "fig16" | "fig17" => {
+            extrapolate::run_extrapolation(
+                &cfg,
+                extrapolate::Resource::MemoryBytes,
+                &disk_bs,
+                3000,
+            );
+        }
+        "fig18" => {
+            network::run_fig18(&cfg);
+        }
+        "ablation-sync" => {
+            ablations::run_ablation_sync(&cfg);
+        }
+        "ablation-ccr" => {
+            ablations::run_ablation_ccr(&cfg, 64 * 1024);
+        }
+        "ablation-hoard" => {
+            ablations::run_ablation_hoard(&cfg);
+        }
+        "whatif-windows" => {
+            whatif::run_whatif_windows(&cfg);
+        }
+        "ablation-chunking" => {
+            ablations::run_ablation_chunking(&cfg);
+        }
+        "all" => {
+            sweeps::run_table2(&cfg);
+            sweeps::run_table1(&cfg);
+            sweeps::run_fig2(&cfg);
+            sweeps::run_fig3(&cfg);
+            sweeps::run_fig4(&cfg);
+            storage::run_fig8_9_10(&cfg);
+            boottime::run_fig11(&cfg);
+            sweeps::run_fig12(&cfg);
+            storage::run_fig13(&cfg);
+            extrapolate::run_extrapolation(&cfg, extrapolate::Resource::DiskBytes, &disk_bs, 3000);
+            extrapolate::run_extrapolation(
+                &cfg,
+                extrapolate::Resource::MemoryBytes,
+                &disk_bs,
+                3000,
+            );
+            network::run_fig18(&cfg);
+            ablations::run_ablation_sync(&cfg);
+            ablations::run_ablation_ccr(&cfg, 64 * 1024);
+            ablations::run_ablation_hoard(&cfg);
+            ablations::run_ablation_chunking(&cfg);
+            whatif::run_whatif_windows(&cfg);
+        }
+        "smoke" => {
+            // A fast end-to-end pass with a tiny corpus for CI-style checks.
+            let cfg =
+                ExperimentConfig { out_dir: cfg.out_dir.clone(), ..ExperimentConfig::smoke() };
+            sweeps::run_table2(&cfg);
+            sweeps::run_table1(&cfg);
+            storage::run_fig13(&cfg);
+            network::run_fig18(&cfg);
+        }
+        _ => usage(),
+    }
+}

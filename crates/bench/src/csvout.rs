@@ -1,0 +1,148 @@
+//! Tiny CSV writer (no external crates): experiments persist their series
+//! under `results/` so figures can be re-plotted without re-running.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A rectangular result table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "ragged row");
+        self.rows.push(row);
+    }
+
+    /// Render as CSV text (quoting fields containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |f: &str| -> String {
+            if f.contains(',') || f.contains('"') || f.contains('\n') {
+                format!("\"{}\"", f.replace('"', "\"\""))
+            } else {
+                f.to_string()
+            }
+        };
+        out.push_str(&self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write to `dir/name.csv` when `dir` is set; directory is created.
+    pub fn write(&self, dir: &Option<String>, name: &str) -> std::io::Result<()> {
+        let Some(dir) = dir else { return Ok(()) };
+        std::fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(format!("{name}.csv"));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(self.to_csv().as_bytes())?;
+        f.flush()
+    }
+
+    /// Print an aligned view to stdout for terminal reading.
+    pub fn print(&self, title: &str) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, f) in widths.iter_mut().zip(row) {
+                *w = (*w).max(f.len());
+            }
+        }
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = writeln!(lock, "\n== {title} ==");
+        let line = |fields: &[String], lock: &mut std::io::StdoutLock<'_>| {
+            let cells: Vec<String> = fields
+                .iter()
+                .zip(&widths)
+                .map(|(f, w)| format!("{f:>w$}", w = w))
+                .collect();
+            let _ = writeln!(lock, "  {}", cells.join("  "));
+        };
+        line(&self.header, &mut lock);
+        for row in &self.rows {
+            line(row, &mut lock);
+        }
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format a byte count in GiB.
+pub fn gib(bytes: f64) -> String {
+    format!("{:.2}", bytes / (1u64 << 30) as f64)
+}
+
+/// Format a byte count in MiB.
+pub fn mib(bytes: f64) -> String {
+    format!("{:.2}", bytes / (1u64 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec!["1".into(), "x,y".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,\"x,y\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new(&["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn write_none_dir_is_noop() {
+        let t = Table::new(&["a"]);
+        t.write(&None, "x").expect("noop");
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join("squirrel-csv-test");
+        let dir_s = dir.to_string_lossy().to_string();
+        let mut t = Table::new(&["v"]);
+        t.push(vec!["7".into()]);
+        t.write(&Some(dir_s.clone()), "probe").expect("write");
+        let content = std::fs::read_to_string(dir.join("probe.csv")).expect("read");
+        assert_eq!(content, "v\n7\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1234.5), "1234.5");
+        assert_eq!(fmt_f(7.256), "7.26");
+        assert_eq!(fmt_f(0.1234), "0.1234");
+        assert_eq!(gib((1u64 << 30) as f64), "1.00");
+        assert_eq!(mib((1u64 << 20) as f64 * 2.5), "2.50");
+    }
+}

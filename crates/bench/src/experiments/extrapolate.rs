@@ -1,0 +1,202 @@
+//! Figures 14–17 and Tables 3–4: curve fitting and extrapolation of cVolume
+//! resource consumption (paper Section 4.3.2).
+//!
+//! Procedure, exactly as the paper describes: build the incremental-add
+//! series (Figure 13's data) per block size, train linear / MMF / Hoerl on
+//! the first half, score RMSE on all points (Tables 3 and 4), then retrain
+//! the winner on all points and extrapolate to 3000 caches (Figures 15
+//! and 17).
+
+use crate::config::ExperimentConfig;
+use crate::csvout::{fmt_f, Table};
+use crate::experiments::storage::{store_incremental, StoreSet};
+use squirrel_curvefit::{fit_hoerl, fit_linear, fit_mmf, rmse, FittedCurve};
+use squirrel_dataset::Corpus;
+
+/// Which resource is being fitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resource {
+    DiskBytes,
+    MemoryBytes,
+}
+
+/// One (block size) row of Table 3 / Table 4.
+#[derive(Clone, Debug)]
+pub struct RmseRow {
+    pub block_size: usize,
+    pub linear: f64,
+    pub mmf: f64,
+    pub hoerl: f64,
+}
+
+impl RmseRow {
+    /// The winning curve name under the paper's selection rule.
+    pub fn winner(&self) -> &'static str {
+        if self.linear <= self.mmf && self.linear <= self.hoerl {
+            "linear"
+        } else if self.mmf <= self.hoerl {
+            "MMF"
+        } else {
+            "hoerl"
+        }
+    }
+}
+
+/// Extract the series (x = cache count, y = resource in GiB/MiB projected).
+pub fn series(corpus: &Corpus, bs: usize, resource: Resource, proj: f64) -> (Vec<f64>, Vec<f64>) {
+    let stats = store_incremental(corpus, StoreSet::Caches, bs);
+    let xs: Vec<f64> = (1..=stats.len()).map(|i| i as f64).collect();
+    let ys: Vec<f64> = stats
+        .iter()
+        .map(|s| match resource {
+            Resource::DiskBytes => s.total_disk_bytes() as f64 * proj / (1u64 << 30) as f64,
+            Resource::MemoryBytes => s.ddt_memory_bytes as f64 * proj / (1u64 << 20) as f64,
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// Train on the first half, score on everything (the paper's procedure).
+pub fn fit_and_score(xs: &[f64], ys: &[f64]) -> Vec<(FittedCurve, f64)> {
+    let half = (xs.len() / 2).max(4).min(xs.len());
+    let (txs, tys) = (&xs[..half], &ys[..half]);
+    let mut fits = vec![fit_linear(txs, tys)];
+    if tys.iter().all(|&y| y > 0.0) {
+        fits.push(fit_mmf(txs, tys));
+        fits.push(fit_hoerl(txs, tys));
+    }
+    fits.into_iter().map(|c| (rmse(&c, xs, ys), c)).map(|(r, c)| (c, r)).collect()
+}
+
+/// Run the whole study for one resource: RMSE table (Table 3/4), winner fit
+/// on all points, and extrapolation rows (Figures 14–17).
+pub fn run_extrapolation(
+    cfg: &ExperimentConfig,
+    resource: Resource,
+    block_sizes: &[usize],
+    extrapolate_to: usize,
+) -> (Vec<RmseRow>, Vec<(usize, FittedCurve)>) {
+    let corpus = cfg.corpus();
+    let proj = cfg.projection();
+    let mut rows = Vec::new();
+    let mut winners = Vec::new();
+    let (label, unit) = match resource {
+        Resource::DiskBytes => ("disk", "GiB"),
+        Resource::MemoryBytes => ("memory", "MiB"),
+    };
+
+    let mut tab = Table::new(&["block_kb", "linear", "mmf", "hoerl", "winner"]);
+    let mut extra = Table::new(&["block_kb", "curve", "at_n", &format!("pred_{unit}")]);
+    for &bs in block_sizes {
+        let (xs, ys) = series(&corpus, bs, resource, proj);
+        let scored = fit_and_score(&xs, &ys);
+        let find = |name: &str| {
+            scored
+                .iter()
+                .find(|(c, _)| c.name() == name)
+                .map(|(_, r)| *r)
+                .unwrap_or(f64::NAN)
+        };
+        let row = RmseRow {
+            block_size: bs,
+            linear: find("linear"),
+            mmf: find("MMF"),
+            hoerl: find("hoerl"),
+        };
+        tab.push(vec![
+            (bs / 1024).to_string(),
+            fmt_f(row.linear),
+            fmt_f(row.mmf),
+            fmt_f(row.hoerl),
+            row.winner().to_string(),
+        ]);
+
+        // Retrain the winner on all points, extrapolate. Guard: resource
+        // consumption never shrinks as caches are added, so a winner whose
+        // extrapolation decays below the last observation is a pathological
+        // fit (Hoerl with b < 1 on noisy short series) — fall back to the
+        // next candidate by RMSE.
+        let mut order = [row.winner(), "linear", "MMF", "hoerl"];
+        order[1..].sort_by(|a, b| {
+            let r = |n: &str| match n {
+                "linear" => row.linear,
+                "MMF" => row.mmf,
+                _ => row.hoerl,
+            };
+            r(a).partial_cmp(&r(b)).expect("no NaN")
+        });
+        let last_y = *ys.last().expect("nonempty");
+        let winner = order
+            .iter()
+            .map(|name| match *name {
+                "linear" => fit_linear(&xs, &ys),
+                "MMF" => fit_mmf(&xs, &ys),
+                _ => fit_hoerl(&xs, &ys),
+            })
+            .find(|c| c.predict(extrapolate_to as f64) >= 0.8 * last_y)
+            .unwrap_or_else(|| fit_linear(&xs, &ys));
+        for &n in &[xs.len(), extrapolate_to / 2, extrapolate_to] {
+            extra.push(vec![
+                (bs / 1024).to_string(),
+                winner.name().to_string(),
+                n.to_string(),
+                fmt_f(winner.predict(n as f64)),
+            ]);
+        }
+        winners.push((bs, winner));
+        rows.push(row);
+    }
+    let (t_no, f_fit, f_ex) = match resource {
+        Resource::DiskBytes => ("Table 3", "Figure 14", "Figure 15"),
+        Resource::MemoryBytes => ("Table 4", "Figure 16", "Figure 17"),
+    };
+    tab.print(&format!("{t_no} / {f_fit}: RMSE of curves estimating {label} consumption"));
+    extra.print(&format!("{f_ex}: extrapolation of {label} consumption"));
+    tab.write(&cfg.out_dir, &format!("{label}_rmse")).expect("csv");
+    extra.write(&cfg.out_dir, &format!("{label}_extrapolation")).expect("csv");
+    (rows, winners)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_series_is_roughly_linear_and_fits_prefer_it() {
+        // The paper's Table 3 outcome: linear wins for disk consumption.
+        let cfg = ExperimentConfig::smoke();
+        let corpus = cfg.corpus();
+        let (xs, ys) = series(&corpus, 16384, Resource::DiskBytes, cfg.projection());
+        assert_eq!(xs.len(), corpus.len());
+        assert!(ys.windows(2).all(|w| w[1] >= w[0]), "monotone disk growth");
+        let scored = fit_and_score(&xs, &ys);
+        let linear_rmse = scored.iter().find(|(c, _)| c.name() == "linear").expect("linear").1;
+        let worst = scored.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
+        assert!(linear_rmse.is_finite());
+        assert!(linear_rmse <= worst);
+    }
+
+    #[test]
+    fn extrapolation_predictions_are_positive_and_growing() {
+        let cfg = ExperimentConfig::smoke();
+        let (_, winners) = run_extrapolation(
+            &ExperimentConfig { out_dir: None, ..cfg },
+            Resource::DiskBytes,
+            &[16384],
+            100,
+        );
+        let (_, curve) = &winners[0];
+        let p50 = curve.predict(50.0);
+        let p100 = curve.predict(100.0);
+        assert!(p50 > 0.0);
+        assert!(p100 >= p50, "disk prediction must not shrink: {p50} vs {p100}");
+    }
+
+    #[test]
+    fn rmse_rows_have_winner() {
+        let row = RmseRow { block_size: 65536, linear: 0.1, mmf: 0.2, hoerl: 0.3 };
+        assert_eq!(row.winner(), "linear");
+        let row = RmseRow { block_size: 65536, linear: 0.5, mmf: 0.2, hoerl: 0.3 };
+        assert_eq!(row.winner(), "MMF");
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per family of tables/figures.
+
+pub mod ablations;
+pub mod boottime;
+pub mod extrapolate;
+pub mod network;
+pub mod storage;
+pub mod sweeps;
+pub mod whatif;

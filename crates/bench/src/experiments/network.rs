@@ -1,0 +1,123 @@
+//! Figure 18: cumulative network transfer at compute nodes during boot
+//! storms, with and without Squirrel's caches, scaling nodes and VMs/node.
+
+use crate::config::ExperimentConfig;
+use crate::csvout::{gib, Table};
+use squirrel_cluster::LinkKind;
+use squirrel_core::{Squirrel, SquirrelConfig};
+use std::sync::Arc;
+
+/// One Figure 18 data point.
+#[derive(Clone, Copy, Debug)]
+pub struct TransferPoint {
+    pub nodes: u32,
+    pub vms_per_node: u32,
+    pub with_caches: bool,
+    /// Cumulative compute-node rx bytes (measured corpus scale).
+    pub compute_rx_bytes: u64,
+}
+
+/// Run one boot storm: `nodes` compute nodes, `vms` VMs per node, each VM
+/// booting a *different* image (the paper's hardest case). Returns compute
+/// rx bytes.
+pub fn boot_storm(
+    cfg: &ExperimentConfig,
+    nodes: u32,
+    vms: u32,
+    with_caches: bool,
+) -> TransferPoint {
+    let corpus = cfg.corpus();
+    let mut sq = Squirrel::new(
+        SquirrelConfig {
+            compute_nodes: nodes,
+            storage_nodes: 4,
+            link: LinkKind::QdrInfiniband,
+            ..Default::default()
+        },
+        Arc::clone(&corpus),
+    );
+    let needed = (nodes as usize * vms as usize).min(corpus.len());
+    if with_caches {
+        for img in 0..needed as u32 {
+            sq.register(img).expect("register");
+        }
+    }
+    // Registration traffic is administrative; Figure 18 charges boot traffic.
+    sq.network_mut().reset_ledgers();
+    for node in 0..nodes {
+        for v in 0..vms {
+            let img = ((node as usize * vms as usize + v as usize) % needed.max(1)) as u32;
+            let out = sq.boot(node, img).expect("boot");
+            assert_eq!(out.warm, with_caches, "cache state must match scenario");
+        }
+    }
+    TransferPoint {
+        nodes,
+        vms_per_node: vms,
+        with_caches,
+        compute_rx_bytes: sq.network().compute_rx_total(),
+    }
+}
+
+/// The full Figure 18 grid.
+pub fn run_fig18(cfg: &ExperimentConfig) -> Vec<TransferPoint> {
+    let node_counts = [1u32, 4, 8, 16, 32, 64];
+    let vm_counts = [1u32, 2, 4, 8];
+    let proj = cfg.scale as f64; // bytes scale only (per-image volumes)
+    let mut pts = Vec::new();
+    let mut t = Table::new(&[
+        "nodes",
+        "w_caches_vm8_gib",
+        "wo_caches_vm1_gib",
+        "wo_caches_vm2_gib",
+        "wo_caches_vm4_gib",
+        "wo_caches_vm8_gib",
+    ]);
+    for &n in &node_counts {
+        let with = boot_storm(cfg, n, 8, true);
+        pts.push(with);
+        let mut row = vec![n.to_string(), gib(with.compute_rx_bytes as f64 * proj)];
+        for &v in &vm_counts {
+            let wo = boot_storm(cfg, n, v, false);
+            row.push(gib(wo.compute_rx_bytes as f64 * proj));
+            pts.push(wo);
+        }
+        t.push(row);
+    }
+    t.print("Figure 18: cumulative network transfer of compute nodes (boot storm)");
+    t.write(&cfg.out_dir, "fig18").expect("csv");
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squirrel_moves_zero_bytes_at_boot() {
+        let p = boot_storm(&ExperimentConfig::smoke(), 3, 2, true);
+        assert_eq!(p.compute_rx_bytes, 0, "warm boots are network-free");
+    }
+
+    #[test]
+    fn without_caches_traffic_scales_with_vms() {
+        let cfg = ExperimentConfig::smoke();
+        let one = boot_storm(&cfg, 2, 1, false);
+        let four = boot_storm(&cfg, 2, 4, false);
+        assert!(one.compute_rx_bytes > 0);
+        assert!(
+            four.compute_rx_bytes > 2 * one.compute_rx_bytes,
+            "{} vs {}",
+            four.compute_rx_bytes,
+            one.compute_rx_bytes
+        );
+    }
+
+    #[test]
+    fn traffic_scales_with_node_count() {
+        let cfg = ExperimentConfig::smoke();
+        let small = boot_storm(&cfg, 1, 2, false);
+        let big = boot_storm(&cfg, 4, 2, false);
+        assert!(big.compute_rx_bytes > small.compute_rx_bytes);
+    }
+}

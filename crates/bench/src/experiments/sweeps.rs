@@ -1,0 +1,271 @@
+//! Content-statistics sweeps: Table 1, Table 2, Figures 2, 3, 4, 12.
+
+use crate::config::{ExperimentConfig, FULL_BS_SWEEP};
+use crate::csvout::{fmt_f, gib, Table};
+use squirrel_compress::Codec;
+use squirrel_dataset::analysis::{sweep, CompressionSampling, ContentSet, SweepStats};
+use squirrel_dataset::{azure_census, ec2_census, Corpus};
+
+/// One (block size) point of the Figure 2/4 family.
+#[derive(Clone, Debug)]
+pub struct RatioPoint {
+    pub block_size: usize,
+    pub images: SweepStats,
+    pub caches: SweepStats,
+}
+
+/// Figure 2 (dedup + gzip-6 ratios) and Figure 4 (CCR) share one sweep.
+pub fn fig2_fig4(cfg: &ExperimentConfig, block_sizes: &[usize]) -> Vec<RatioPoint> {
+    let corpus = cfg.corpus();
+    block_sizes
+        .iter()
+        .map(|&bs| RatioPoint {
+            block_size: bs,
+            images: sweep(
+                &corpus,
+                ContentSet::Images,
+                bs,
+                Codec::Gzip(6),
+                CompressionSampling::default(),
+                cfg.threads,
+            ),
+            caches: sweep(
+                &corpus,
+                ContentSet::Caches,
+                bs,
+                Codec::Gzip(6),
+                CompressionSampling::default(),
+                cfg.threads,
+            ),
+        })
+        .collect()
+}
+
+/// Render + persist Figure 2.
+pub fn run_fig2(cfg: &ExperimentConfig) -> Vec<RatioPoint> {
+    let pts = fig2_fig4(cfg, &FULL_BS_SWEEP);
+    let mut t = Table::new(&[
+        "block_kb",
+        "caches_dedup",
+        "images_dedup",
+        "caches_gzip6",
+        "images_gzip6",
+    ]);
+    for p in &pts {
+        t.push(vec![
+            (p.block_size / 1024).to_string(),
+            fmt_f(p.caches.dedup_ratio()),
+            fmt_f(p.images.dedup_ratio()),
+            fmt_f(p.caches.compression_ratio()),
+            fmt_f(p.images.compression_ratio()),
+        ]);
+    }
+    t.print("Figure 2: compression ratio of VMIs and caches (dedup, gzip-6)");
+    t.write(&cfg.out_dir, "fig2").expect("csv");
+    pts
+}
+
+/// Render + persist Figure 4 (reuses the Figure 2 sweep).
+pub fn run_fig4(cfg: &ExperimentConfig) -> Vec<RatioPoint> {
+    let pts = fig2_fig4(cfg, &FULL_BS_SWEEP);
+    let mut t = Table::new(&["block_kb", "caches_ccr", "images_ccr"]);
+    for p in &pts {
+        t.push(vec![
+            (p.block_size / 1024).to_string(),
+            fmt_f(p.caches.ccr()),
+            fmt_f(p.images.ccr()),
+        ]);
+    }
+    t.print("Figure 4: combined compression ratio (dedup x gzip-6)");
+    t.write(&cfg.out_dir, "fig4").expect("csv");
+    pts
+}
+
+/// Figure 3: cache compression ratio per codec over block sizes.
+pub fn run_fig3(cfg: &ExperimentConfig) -> Vec<(usize, Vec<(String, f64)>)> {
+    let corpus = cfg.corpus();
+    let codecs = [Codec::Gzip(6), Codec::Gzip(9), Codec::Lzjb, Codec::Lz4];
+    let mut out = Vec::new();
+    let mut t = Table::new(&["block_kb", "dedup", "gzip-6", "gzip-9", "lzjb", "lz4"]);
+    for &bs in &FULL_BS_SWEEP {
+        let mut row = vec![(bs / 1024).to_string()];
+        let mut entries = Vec::new();
+        // Dedup ratio is codec-independent; measure once.
+        let base = sweep(
+            &corpus,
+            ContentSet::Caches,
+            bs,
+            Codec::Off,
+            CompressionSampling { max_blocks: 0 },
+            cfg.threads,
+        );
+        row.push(fmt_f(base.dedup_ratio()));
+        entries.push(("dedup".to_string(), base.dedup_ratio()));
+        for codec in codecs {
+            let s = sweep(
+                &corpus,
+                ContentSet::Caches,
+                bs,
+                codec,
+                CompressionSampling::default(),
+                cfg.threads,
+            );
+            row.push(fmt_f(s.compression_ratio()));
+            entries.push((codec.name(), s.compression_ratio()));
+        }
+        t.push(row);
+        out.push((bs, entries));
+    }
+    t.print("Figure 3: compression ratio of VMI caches per routine");
+    t.write(&cfg.out_dir, "fig3").expect("csv");
+    out
+}
+
+/// Figure 12: cross-similarity of images and caches.
+pub fn run_fig12(cfg: &ExperimentConfig) -> Vec<(usize, f64, f64)> {
+    let corpus = cfg.corpus();
+    let mut t = Table::new(&["block_kb", "caches_similarity", "images_similarity"]);
+    let mut out = Vec::new();
+    for &bs in &FULL_BS_SWEEP {
+        let sample = CompressionSampling { max_blocks: 0 };
+        let imgs = sweep(&corpus, ContentSet::Images, bs, Codec::Off, sample, cfg.threads);
+        let caches = sweep(&corpus, ContentSet::Caches, bs, Codec::Off, sample, cfg.threads);
+        t.push(vec![
+            (bs / 1024).to_string(),
+            fmt_f(caches.cross_similarity()),
+            fmt_f(imgs.cross_similarity()),
+        ]);
+        out.push((bs, caches.cross_similarity(), imgs.cross_similarity()));
+    }
+    t.print("Figure 12: cross-similarity of VMIs and caches");
+    t.write(&cfg.out_dir, "fig12").expect("csv");
+    out
+}
+
+/// Table 1 outputs (all byte values at measured scale).
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    pub original_bytes: u64,
+    pub nonzero_bytes: u64,
+    pub cache_nonzero_bytes: u64,
+    pub cache_ccr_bytes: u64,
+}
+
+/// Table 1: storage efficiency at 128 KiB.
+pub fn run_table1(cfg: &ExperimentConfig) -> Table1 {
+    let corpus = cfg.corpus();
+    let bs = 128 * 1024;
+    let imgs = sweep(
+        &corpus,
+        ContentSet::Images,
+        bs,
+        Codec::Gzip(6),
+        CompressionSampling::default(),
+        cfg.threads,
+    );
+    let caches = sweep(
+        &corpus,
+        ContentSet::Caches,
+        bs,
+        Codec::Gzip(6),
+        CompressionSampling::default(),
+        cfg.threads,
+    );
+    let original: u64 = corpus.iter().map(|i| i.virtual_bytes()).sum();
+    let result = Table1 {
+        original_bytes: original,
+        nonzero_bytes: imgs.nonzero_bytes(),
+        cache_nonzero_bytes: caches.nonzero_bytes(),
+        cache_ccr_bytes: caches.deduped_compressed_bytes(),
+    };
+    let proj = cfg.projection();
+    let mut t = Table::new(&["quantity", "measured_gib", "paper_projection_gib", "paper_reports"]);
+    let rows: [(&str, u64, &str); 4] = [
+        ("Original", result.original_bytes, "16.4 TB"),
+        ("Nonzero", result.nonzero_bytes, "1.4 TB"),
+        ("Caches (nonzero)", result.cache_nonzero_bytes, "78.5 GB"),
+        ("Caches / CCR", result.cache_ccr_bytes, "15.1 GB"),
+    ];
+    for (name, v, paper) in rows {
+        t.push(vec![
+            name.to_string(),
+            gib(v as f64),
+            gib(v as f64 * proj),
+            paper.to_string(),
+        ]);
+    }
+    t.print("Table 1: attained storage efficiency with 128 KiB block size");
+    t.write(&cfg.out_dir, "table1").expect("csv");
+    result
+}
+
+/// Table 2: the OS census (static data reproduced verbatim).
+pub fn run_table2(cfg: &ExperimentConfig) -> Table {
+    let mut t = Table::new(&["os_distribution", "windows_azure", "amazon_ec2"]);
+    for (a, e) in azure_census().iter().zip(ec2_census()) {
+        assert_eq!(a.family, e.family);
+        t.push(vec![
+            a.family.label().to_string(),
+            a.count.to_string(),
+            e.count.to_string(),
+        ]);
+    }
+    let azure_total: u32 = azure_census().iter().map(|c| c.count).sum();
+    let ec2_total: u32 = ec2_census().iter().map(|c| c.count).sum();
+    t.push(vec!["Total".to_string(), azure_total.to_string(), ec2_total.to_string()]);
+    t.print("Table 2: OS diversity in Windows Azure and Amazon EC2");
+    t.write(&cfg.out_dir, "table2").expect("csv");
+    t
+}
+
+/// Shared helper for tests: run one caches sweep.
+pub fn caches_sweep(corpus: &Corpus, bs: usize, threads: usize) -> SweepStats {
+    sweep(
+        corpus,
+        ContentSet::Caches,
+        bs,
+        Codec::Gzip(6),
+        CompressionSampling::default(),
+        threads,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::smoke()
+    }
+
+    #[test]
+    fn fig2_trends_hold_on_smoke_corpus() {
+        let pts = fig2_fig4(&cfg(), &[2048, 65536]);
+        let (small, large) = (&pts[0], &pts[1]);
+        assert!(small.caches.dedup_ratio() >= large.caches.dedup_ratio());
+        assert!(large.caches.compression_ratio() > small.caches.compression_ratio());
+    }
+
+    #[test]
+    fn table1_ordering() {
+        let t1 = run_table1(&cfg());
+        assert!(t1.original_bytes > t1.nonzero_bytes);
+        assert!(t1.nonzero_bytes > t1.cache_nonzero_bytes);
+        assert!(t1.cache_nonzero_bytes > t1.cache_ccr_bytes);
+    }
+
+    #[test]
+    fn table2_totals() {
+        let t = run_table2(&cfg());
+        assert_eq!(t.rows.last().expect("total row")[1], "607");
+    }
+
+    #[test]
+    fn fig12_caches_beat_images() {
+        let corpus = cfg().corpus();
+        let s = CompressionSampling { max_blocks: 0 };
+        let imgs = sweep(&corpus, ContentSet::Images, 8192, Codec::Off, s, 0);
+        let caches = sweep(&corpus, ContentSet::Caches, 8192, Codec::Off, s, 0);
+        assert!(caches.cross_similarity() > imgs.cross_similarity());
+    }
+}

@@ -1,0 +1,30 @@
+//! Trace-driven VM boot simulator — the machinery behind the paper's
+//! Figure 11 (boot time vs cVolume block size) and the boot-time entries of
+//! Table-like summaries.
+//!
+//! The simulator replays a boot read trace (from `squirrel-dataset`) through
+//! a QCOW2-style request chain against one of four storage backends and
+//! integrates I/O time over an explicit device model:
+//!
+//! * [`Backend::WarmCacheXfs`] — the warmed VMI cache as a compact plain
+//!   file: short seeks, sequential transfers.
+//! * [`Backend::BaseImageXfs`] — the classic CoW-over-local-VMI baseline:
+//!   the boot working set is spread across the multi-GB image, so seeks are
+//!   long.
+//! * [`Backend::ColdCache`] — first boot: every miss crosses the network to
+//!   the storage nodes and is written back to the local cache.
+//! * [`Backend::DedupVolume`] — the warmed cache inside a dedup+gzip ZFS
+//!   cVolume: DDT lookups, record-sized reads at scattered physical
+//!   locations, whole-record decompression, and an ARC that keeps popular
+//!   (cross-VMI shared) records resident.
+//!
+//! Mechanisms reproduced (paper Section 4.2.3): QCOW2's 64 KiB cluster
+//! over-fetch acting as free prefetch; dedup-induced scattering punishing
+//! small records; whole-record decompression punishing records larger than
+//! the cluster size (why 128 KiB boots slower than 64 KiB).
+
+mod model;
+mod sim;
+
+pub use model::{CpuModel, DiskModel, PageCache};
+pub use sim::{Backend, BootReport, BootSim, DedupVolumeParams};

@@ -1,0 +1,15 @@
+//! Data-center model: nodes, network links with per-node transfer ledgers,
+//! IP multicast, and a glusterfs-like striped + replicated parallel file
+//! system — the environment of the paper's Section 4.4 experiment.
+//!
+//! The DAS-4 deployment the paper measures has 64 compute nodes and 4
+//! storage nodes running glusterfs with two levels of striping and two of
+//! replication, connected by 1 GbE and QDR InfiniBand. Figure 18 charges
+//! every byte that reaches a compute node's NIC; this crate implements that
+//! ledger plus the storage-side distribution of reads.
+
+mod netsim;
+mod parallelfs;
+
+pub use netsim::{LinkKind, Network, NodeId, NodeRole, TrafficLedger};
+pub use parallelfs::{GlusterConfig, GlusterVolume};

@@ -1,0 +1,211 @@
+//! Network model: nodes, links, unicast/multicast transfer accounting.
+
+/// Node identifier within the cluster.
+pub type NodeId = u32;
+
+/// What a node does (affects which ledger a transfer is charged to).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRole {
+    Compute,
+    Storage,
+}
+
+/// Interconnect flavours available on DAS-4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Commodity 1 Gb/s Ethernet.
+    GbE,
+    /// QDR InfiniBand, ~32 Gb/s theoretical.
+    QdrInfiniband,
+}
+
+impl LinkKind {
+    /// Effective bandwidth in MB/s (payload, after protocol overhead).
+    pub fn mbps(&self) -> f64 {
+        match self {
+            LinkKind::GbE => 112.0,
+            LinkKind::QdrInfiniband => 3200.0,
+        }
+    }
+}
+
+/// Per-node byte counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficLedger {
+    pub rx_bytes: u64,
+    pub tx_bytes: u64,
+}
+
+/// The cluster network: a flat switch with per-node ledgers, supporting
+/// unicast and (for cache propagation) IP multicast.
+pub struct Network {
+    link: LinkKind,
+    roles: Vec<NodeRole>,
+    ledgers: Vec<TrafficLedger>,
+}
+
+impl Network {
+    /// A cluster of `compute` compute nodes followed by `storage` storage
+    /// nodes; node ids are assigned in that order.
+    pub fn new(link: LinkKind, compute: u32, storage: u32) -> Self {
+        let mut roles = vec![NodeRole::Compute; compute as usize];
+        roles.extend(std::iter::repeat_n(NodeRole::Storage, storage as usize));
+        let n = roles.len();
+        Network { link, roles, ledgers: vec![TrafficLedger::default(); n] }
+    }
+
+    pub fn link(&self) -> LinkKind {
+        self.link
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.roles.len()
+    }
+
+    pub fn role(&self, node: NodeId) -> NodeRole {
+        self.roles[node as usize]
+    }
+
+    pub fn compute_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.roles.len() as u32).filter(|&n| self.roles[n as usize] == NodeRole::Compute)
+    }
+
+    pub fn storage_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.roles.len() as u32).filter(|&n| self.roles[n as usize] == NodeRole::Storage)
+    }
+
+    /// Transfer `bytes` from `src` to `dst`; returns the transfer seconds.
+    pub fn unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64) -> f64 {
+        assert_ne!(src, dst, "self-transfer");
+        self.ledgers[src as usize].tx_bytes += bytes;
+        self.ledgers[dst as usize].rx_bytes += bytes;
+        bytes as f64 / (self.link.mbps() * 1e6)
+    }
+
+    /// IP-multicast `bytes` from `src` to `dsts`: the sender transmits once,
+    /// every receiver's NIC receives the full payload (the mechanism the
+    /// paper assumes for snapshot-diff propagation, Section 3.2).
+    pub fn multicast(&mut self, src: NodeId, dsts: &[NodeId], bytes: u64) -> f64 {
+        self.ledgers[src as usize].tx_bytes += bytes;
+        for &d in dsts {
+            assert_ne!(d, src, "multicast to self");
+            self.ledgers[d as usize].rx_bytes += bytes;
+        }
+        bytes as f64 / (self.link.mbps() * 1e6)
+    }
+
+    /// LANTorrent-style pipelined transfer: the source sends once to the
+    /// first receiver, each receiver forwards to the next while receiving.
+    /// Every node transmits and receives at most one copy, and on a single
+    /// switch the pipeline completes in roughly one transfer time plus a
+    /// per-hop latency. Returns the transfer seconds.
+    pub fn pipeline(&mut self, src: NodeId, dsts: &[NodeId], bytes: u64) -> f64 {
+        if dsts.is_empty() {
+            return 0.0;
+        }
+        let mut prev = src;
+        for &d in dsts {
+            assert_ne!(d, prev, "pipeline hop to self");
+            self.ledgers[prev as usize].tx_bytes += bytes;
+            self.ledgers[d as usize].rx_bytes += bytes;
+            prev = d;
+        }
+        const HOP_LATENCY_S: f64 = 0.002;
+        bytes as f64 / (self.link.mbps() * 1e6) + HOP_LATENCY_S * dsts.len() as f64
+    }
+
+    pub fn ledger(&self, node: NodeId) -> TrafficLedger {
+        self.ledgers[node as usize]
+    }
+
+    /// Sum of rx bytes over compute nodes — Figure 18's y-axis.
+    pub fn compute_rx_total(&self) -> u64 {
+        self.compute_nodes().map(|n| self.ledger(n).rx_bytes).sum()
+    }
+
+    /// Reset all ledgers (between experiment phases: registration traffic
+    /// versus boot-time traffic are reported separately).
+    pub fn reset_ledgers(&mut self) {
+        self.ledgers.fill(TrafficLedger::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_assigned_in_order() {
+        let net = Network::new(LinkKind::GbE, 3, 2);
+        assert_eq!(net.node_count(), 5);
+        assert_eq!(net.role(0), NodeRole::Compute);
+        assert_eq!(net.role(3), NodeRole::Storage);
+        assert_eq!(net.compute_nodes().count(), 3);
+        assert_eq!(net.storage_nodes().count(), 2);
+    }
+
+    #[test]
+    fn unicast_charges_both_ends() {
+        let mut net = Network::new(LinkKind::GbE, 2, 1);
+        let secs = net.unicast(2, 0, 112_000_000);
+        assert_eq!(net.ledger(2).tx_bytes, 112_000_000);
+        assert_eq!(net.ledger(0).rx_bytes, 112_000_000);
+        assert_eq!(net.ledger(1), TrafficLedger::default());
+        assert!((secs - 1.0).abs() < 1e-9, "1 GbE moves 112 MB/s: {secs}");
+    }
+
+    #[test]
+    fn multicast_sends_once_receives_everywhere() {
+        let mut net = Network::new(LinkKind::GbE, 4, 1);
+        net.multicast(4, &[0, 1, 2, 3], 1000);
+        assert_eq!(net.ledger(4).tx_bytes, 1000, "single transmission");
+        for n in 0..4 {
+            assert_eq!(net.ledger(n).rx_bytes, 1000);
+        }
+        assert_eq!(net.compute_rx_total(), 4000);
+    }
+
+    #[test]
+    fn pipeline_spreads_tx_load() {
+        let mut net = Network::new(LinkKind::GbE, 4, 1);
+        let t = net.pipeline(4, &[0, 1, 2, 3], 1_000_000);
+        // Source transmits once; each intermediate node relays once.
+        assert_eq!(net.ledger(4).tx_bytes, 1_000_000);
+        assert_eq!(net.ledger(0).tx_bytes, 1_000_000);
+        assert_eq!(net.ledger(3).tx_bytes, 0, "last hop only receives");
+        for n in 0..4 {
+            assert_eq!(net.ledger(n).rx_bytes, 1_000_000);
+        }
+        // Completes in about one transfer time, not n transfer times.
+        let single = 1_000_000.0 / (LinkKind::GbE.mbps() * 1e6);
+        assert!(t < 2.0 * single + 0.1, "{t} vs {single}");
+    }
+
+    #[test]
+    fn pipeline_empty_is_noop() {
+        let mut net = Network::new(LinkKind::GbE, 1, 1);
+        assert_eq!(net.pipeline(1, &[], 100), 0.0);
+        assert_eq!(net.compute_rx_total(), 0);
+    }
+
+    #[test]
+    fn infiniband_is_faster() {
+        let mut gbe = Network::new(LinkKind::GbE, 1, 1);
+        let mut ib = Network::new(LinkKind::QdrInfiniband, 1, 1);
+        assert!(ib.unicast(1, 0, 1 << 30) < gbe.unicast(1, 0, 1 << 30));
+    }
+
+    #[test]
+    fn reset_clears_ledgers() {
+        let mut net = Network::new(LinkKind::GbE, 1, 1);
+        net.unicast(1, 0, 5);
+        net.reset_ledgers();
+        assert_eq!(net.compute_rx_total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transfer")]
+    fn self_unicast_panics() {
+        Network::new(LinkKind::GbE, 1, 1).unicast(0, 0, 1);
+    }
+}

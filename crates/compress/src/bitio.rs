@@ -1,0 +1,144 @@
+//! Minimal LSB-first bit readers/writers shared by the Huffman stage.
+
+/// Appends bits LSB-first into a byte vector.
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bits accumulated but not yet flushed (low bits valid).
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        BitWriter { out: Vec::new(), acc: 0, nbits: 0 }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BitWriter { out: Vec::with_capacity(cap), acc: 0, nbits: 0 }
+    }
+
+    /// Write the low `n` bits of `bits` (n <= 57 so the accumulator never
+    /// overflows before flushing).
+    #[inline]
+    pub fn write(&mut self, bits: u64, n: u32) {
+        debug_assert!(n <= 57);
+        debug_assert!(n == 64 || bits < (1u64 << n));
+        self.acc |= bits << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Flush the final partial byte (zero-padded) and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+        }
+        self.out
+    }
+}
+
+impl Default for BitWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index to load.
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Read `n` bits (n <= 57). Reading past the end yields zero bits, which
+    /// is fine because well-formed streams never do it.
+    #[inline]
+    pub fn read(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 57);
+        while self.nbits < n {
+            let byte = self.data.get(self.pos).copied().unwrap_or(0);
+            self.pos += 1;
+            self.acc |= (byte as u64) << self.nbits;
+            self.nbits += 8;
+        }
+        let val = self.acc & ((1u64 << n) - 1);
+        self.acc >>= n;
+        self.nbits -= n;
+        val
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> u64 {
+        self.read(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        let fields: Vec<(u64, u32)> = vec![
+            (1, 1),
+            (0, 1),
+            (0b101, 3),
+            (0xff, 8),
+            (0x1234, 16),
+            (0x1f_ffff, 21),
+            (1, 1),
+            (0x0000_dead_beef, 36),
+        ];
+        for &(v, n) in &fields {
+            w.write(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.read(n), v, "width {n}");
+        }
+    }
+
+    #[test]
+    fn empty_writer_produces_empty_buffer() {
+        assert!(BitWriter::new().finish().is_empty());
+    }
+
+    #[test]
+    fn partial_byte_is_flushed() {
+        let mut w = BitWriter::new();
+        w.write(0b1, 1);
+        let b = w.finish();
+        assert_eq!(b, vec![1]);
+    }
+
+    #[test]
+    fn reader_past_end_yields_zeros() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read(8), 0xff);
+        assert_eq!(r.read(8), 0);
+    }
+
+    #[test]
+    fn bit_order_is_lsb_first() {
+        let mut w = BitWriter::new();
+        w.write(0b1, 1); // bit 0
+        w.write(0b0, 1); // bit 1
+        w.write(0b1, 1); // bit 2
+        assert_eq!(w.finish(), vec![0b101]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Canonical Huffman entropy stage of the gzip-like codec.
+//!
+//! Frame layout:
+//! * u32 LE: decoded length in bytes;
+//! * u16 LE: byte count of the RLE-coded code-length table;
+//! * RLE table: each byte encodes `(run, value)` — high nibble is run length
+//!   minus one (1..=16 repeats), low nibble the 4-bit code length — covering
+//!   all 256 symbols (0 = unused, 1..=15 = code length);
+//! * LSB-first bitstream of canonical codes.
+//!
+//! Like DEFLATE, the code-length table is itself compressed, so the framing
+//! overhead stays small but nonzero — small blocks still pay relatively more
+//! header, one of the two mechanisms behind the paper's Figure 2 trend.
+
+use crate::bitio::{BitReader, BitWriter};
+
+const MAX_CODE_LEN: u32 = 15;
+
+/// Build Huffman code lengths for `freq` (256 symbols), depth-limited to
+/// [`MAX_CODE_LEN`] by iteratively flattening the histogram (zlib's trick).
+fn build_lengths(freq: &[u64; 256]) -> [u8; 256] {
+    let mut f = *freq;
+    loop {
+        let lengths = try_build_lengths(&f);
+        if lengths.iter().all(|&l| (l as u32) <= MAX_CODE_LEN) {
+            return lengths;
+        }
+        for v in f.iter_mut() {
+            if *v > 0 {
+                *v = (*v >> 2) + 1;
+            }
+        }
+    }
+}
+
+/// One Huffman construction pass; may exceed the depth limit.
+fn try_build_lengths(freq: &[u64; 256]) -> [u8; 256] {
+    // Node arena: first 256 are leaves, internal nodes appended after.
+    // Weights live in the heap entries; nodes only need their children.
+    #[derive(Clone, Copy)]
+    struct Node {
+        left: u16,
+        right: u16,
+    }
+    let mut nodes: Vec<Node> = (0..256)
+        .map(|_| Node { left: u16::MAX, right: u16::MAX })
+        .collect();
+
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u16)>> = freq
+        .iter()
+        .enumerate()
+        .filter(|(_, &w)| w > 0)
+        .map(|(s, &w)| std::cmp::Reverse((w, s as u16)))
+        .collect();
+
+    let mut lengths = [0u8; 256];
+    match heap.len() {
+        0 => return lengths,
+        1 => {
+            // Single distinct symbol: give it a 1-bit code.
+            let std::cmp::Reverse((_, s)) = heap.pop().expect("one element");
+            lengths[s as usize] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    while heap.len() > 1 {
+        let std::cmp::Reverse((w1, n1)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse((w2, n2)) = heap.pop().expect("len > 1");
+        let id = nodes.len() as u16;
+        nodes.push(Node { left: n1, right: n2 });
+        heap.push(std::cmp::Reverse((w1 + w2, id)));
+    }
+    let root = heap.pop().expect("root").0 .1;
+
+    // Iterative depth-first traversal assigning depths to leaves.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((id, depth)) = stack.pop() {
+        let node = nodes[id as usize];
+        if node.left == u16::MAX {
+            lengths[id as usize] = depth.max(1);
+        } else {
+            stack.push((node.left, depth + 1));
+            stack.push((node.right, depth + 1));
+        }
+    }
+    lengths
+}
+
+/// Canonical code assignment: shorter codes first, ties by symbol order.
+/// Codes are stored bit-reversed so they can be emitted LSB-first.
+fn assign_codes(lengths: &[u8; 256]) -> [u16; 256] {
+    let mut count = [0u16; (MAX_CODE_LEN + 1) as usize];
+    for &l in lengths.iter() {
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    let mut next = [0u16; (MAX_CODE_LEN + 2) as usize];
+    let mut code = 0u16;
+    for l in 1..=MAX_CODE_LEN as usize {
+        code = (code + count[l - 1]) << 1;
+        next[l] = code;
+    }
+    let mut codes = [0u16; 256];
+    for s in 0..256 {
+        let l = lengths[s] as usize;
+        if l > 0 {
+            let c = next[l];
+            next[l] += 1;
+            codes[s] = reverse_bits(c, l as u32);
+        }
+    }
+    codes
+}
+
+#[inline]
+fn reverse_bits(v: u16, n: u32) -> u16 {
+    v.reverse_bits() >> (16 - n)
+}
+
+/// Entropy-code `data` (any byte stream).
+pub fn huffman_compress(data: &[u8]) -> Vec<u8> {
+    let mut freq = [0u64; 256];
+    for &b in data {
+        freq[b as usize] += 1;
+    }
+    let lengths = build_lengths(&freq);
+    let codes = assign_codes(&lengths);
+
+    let rle = rle_encode_lengths(&lengths);
+    let mut w = BitWriter::with_capacity(data.len() / 2 + rle.len() + 8);
+    // Header goes through the bit writer byte-aligned (it is first).
+    for b in (data.len() as u32).to_le_bytes() {
+        w.write(b as u64, 8);
+    }
+    for b in (rle.len() as u16).to_le_bytes() {
+        w.write(b as u64, 8);
+    }
+    for &b in &rle {
+        w.write(b as u64, 8);
+    }
+    for &b in data {
+        let s = b as usize;
+        w.write(codes[s] as u64, lengths[s] as u32);
+    }
+    w.finish()
+}
+
+/// RLE over the 256 code-length nibbles: one byte per run, high nibble =
+/// run length minus one (1..=16), low nibble = code length.
+fn rle_encode_lengths(lengths: &[u8; 256]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    let mut i = 0usize;
+    while i < 256 {
+        let v = lengths[i];
+        let mut run = 1usize;
+        while run < 16 && i + run < 256 && lengths[i + run] == v {
+            run += 1;
+        }
+        out.push((((run - 1) as u8) << 4) | v);
+        i += run;
+    }
+    out
+}
+
+fn rle_decode_lengths(rle: &[u8]) -> [u8; 256] {
+    let mut lengths = [0u8; 256];
+    let mut i = 0usize;
+    for &b in rle {
+        let run = (b >> 4) as usize + 1;
+        let v = b & 0x0f;
+        for slot in lengths[i..].iter_mut().take(run) {
+            *slot = v;
+        }
+        i += run;
+    }
+    assert_eq!(i, 256, "corrupt code-length table");
+    lengths
+}
+
+/// Decode a [`huffman_compress`] frame.
+pub fn huffman_decompress(frame: &[u8]) -> Vec<u8> {
+    assert!(frame.len() >= 7, "huffman frame too short: {}", frame.len());
+    let n = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+    let rle_len = u16::from_le_bytes(frame[4..6].try_into().expect("2 bytes")) as usize;
+    let body_start = 6 + rle_len;
+    let lengths = rle_decode_lengths(&frame[6..body_start]);
+
+    // Canonical decode tables: for each length, the first canonical code and
+    // the index of its first symbol in the length-sorted symbol list.
+    let mut count = [0u16; (MAX_CODE_LEN + 1) as usize];
+    for &l in lengths.iter() {
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    let mut first_code = [0u32; (MAX_CODE_LEN + 2) as usize];
+    let mut first_sym = [0u16; (MAX_CODE_LEN + 2) as usize];
+    let mut code = 0u32;
+    let mut sym_base = 0u16;
+    for l in 1..=MAX_CODE_LEN as usize {
+        code = (code + count[l - 1] as u32) << 1;
+        first_code[l] = code;
+        first_sym[l] = sym_base;
+        sym_base += count[l];
+    }
+    // Symbols sorted by (length, symbol) — canonical order.
+    let mut sorted = Vec::with_capacity(sym_base as usize);
+    for l in 1..=MAX_CODE_LEN as usize {
+        for (s, &sl) in lengths.iter().enumerate() {
+            if sl as usize == l {
+                sorted.push(s as u8);
+            }
+        }
+    }
+
+    let mut r = BitReader::new(&frame[body_start..]);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Accumulate MSB-first code value until it falls within a length class.
+        let mut code = 0u32;
+        let mut len = 0usize;
+        loop {
+            code = (code << 1) | r.read_bit() as u32;
+            len += 1;
+            assert!(len <= MAX_CODE_LEN as usize, "corrupt huffman stream");
+            let idx = code.wrapping_sub(first_code[len]);
+            if idx < count[len] as u32 {
+                out.push(sorted[(first_sym[len] as u32 + idx) as usize]);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(data: &[u8]) {
+        let frame = huffman_compress(data);
+        assert_eq!(huffman_decompress(&frame), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        rt(b"");
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        rt(b"aaaaaaaaaaaaaaaaaaaaaaaa");
+        rt(b"a");
+    }
+
+    #[test]
+    fn roundtrip_two_symbols() {
+        rt(b"ababbbabababaabbbb");
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        rt(&data);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 95% one symbol: entropy well under 1 bit/byte.
+        let mut data = vec![0u8; 10_000];
+        for i in (0..data.len()).step_by(20) {
+            data[i] = (i / 20) as u8;
+        }
+        let frame = huffman_compress(&data);
+        assert!(frame.len() < data.len() / 2, "{}", frame.len());
+        rt(&data);
+    }
+
+    #[test]
+    fn depth_limit_respected_on_exponential_freqs() {
+        // Fibonacci-like frequencies force deep trees; the flattening loop
+        // must cap them at MAX_CODE_LEN.
+        let mut freq = [0u64; 256];
+        let mut a = 1u64;
+        let mut b = 2u64;
+        for f in freq.iter_mut().take(40) {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c.min(1 << 55);
+        }
+        let lengths = build_lengths(&freq);
+        assert!(lengths.iter().all(|&l| (l as u32) <= MAX_CODE_LEN));
+        // And all used symbols got codes.
+        for (s, &l) in lengths.iter().enumerate().take(40) {
+            assert!(l > 0, "symbol {s}");
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut freq = [0u64; 256];
+        for (s, f) in freq.iter_mut().enumerate() {
+            *f = (s as u64 % 17) + 1;
+        }
+        let lengths = build_lengths(&freq);
+        let codes = assign_codes(&lengths);
+        // Check pairwise prefix-freeness on the bit-reversed (LSB-first) codes.
+        for a in 0..256 {
+            for b in 0..256 {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (lengths[a] as u32, lengths[b] as u32);
+                if la == 0 || lb == 0 || la > lb {
+                    continue;
+                }
+                let mask = (1u16 << la) - 1;
+                assert!(
+                    (codes[a] & mask) != (codes[b] & mask) || la == lb && codes[a] != codes[b],
+                    "code {a} is a prefix of {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_panics_not_hangs() {
+        let mut frame = huffman_compress(b"hello world hello world");
+        let last = frame.len() - 1;
+        frame[last] ^= 0xff;
+        // Either decodes to garbage of the right length or panics; must not hang.
+        let _ = std::panic::catch_unwind(|| huffman_decompress(&frame));
+    }
+}

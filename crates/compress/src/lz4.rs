@@ -1,0 +1,179 @@
+//! An LZ4-block-style codec: byte-oriented sequences of
+//! `(token, literals, offset, match)` with run-length-extended counts.
+//!
+//! Layout per sequence: a token byte whose high nibble is the literal count
+//! and low nibble the match length minus 4 (value 15 in either nibble means
+//! "extended": 255-valued continuation bytes follow). After the literals
+//! comes a little-endian u16 backward offset. The final sequence carries
+//! literals only. Greedy single-probe matching from a 64 Ki-entry hash table
+//! of 4-byte prefixes keeps it fast with moderate ratio.
+
+const MIN_MATCH: usize = 4;
+const HASH_LOG: u32 = 16;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"));
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_LOG)) as usize
+}
+
+fn write_count(out: &mut Vec<u8>, mut count: usize) {
+    while count >= 255 {
+        out.push(255);
+        count -= 255;
+    }
+    out.push(count as u8);
+}
+
+/// Compress `data` into an LZ4-style block.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_LOG];
+
+    let mut anchor = 0usize; // start of pending literals
+    let mut i = 0usize;
+    while i + MIN_MATCH <= n {
+        let h = hash4(data, i);
+        let cand = table[h];
+        table[h] = i;
+        let found = cand != usize::MAX
+            && i - cand <= u16::MAX as usize
+            && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH];
+        if !found {
+            i += 1;
+            continue;
+        }
+        // Extend the match forward.
+        let mut len = MIN_MATCH;
+        let max_len = n - i;
+        while len < max_len && data[cand + len] == data[i + len] {
+            len += 1;
+        }
+
+        // Emit sequence: token, literal run, offset, extended match count.
+        let lit_len = i - anchor;
+        let lit_nib = lit_len.min(15) as u8;
+        let match_nib = (len - MIN_MATCH).min(15) as u8;
+        out.push((lit_nib << 4) | match_nib);
+        if lit_len >= 15 {
+            write_count(&mut out, lit_len - 15);
+        }
+        out.extend_from_slice(&data[anchor..i]);
+        out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+        if len - MIN_MATCH >= 15 {
+            write_count(&mut out, len - MIN_MATCH - 15);
+        }
+
+        // Seed the table inside the match so nearby repeats are found.
+        let end = i + len;
+        let mut j = i + 1;
+        while j + MIN_MATCH <= end.min(n - MIN_MATCH + 1) {
+            table[hash4(data, j)] = j;
+            j += 2;
+        }
+        i = end;
+        anchor = end;
+    }
+
+    // Trailing literals-only sequence.
+    let lit_len = n - anchor;
+    let lit_nib = lit_len.min(15) as u8;
+    out.push(lit_nib << 4);
+    if lit_len >= 15 {
+        write_count(&mut out, lit_len - 15);
+    }
+    out.extend_from_slice(&data[anchor..]);
+    out
+}
+
+fn read_count(src: &[u8], pos: &mut usize, nibble: usize) -> usize {
+    let mut count = nibble;
+    if nibble == 15 {
+        loop {
+            let b = src[*pos];
+            *pos += 1;
+            count += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    count
+}
+
+/// Decompress an LZ4-style block of known decoded length.
+pub fn decompress(src: &[u8], expected_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    while pos < src.len() {
+        let token = src[pos];
+        pos += 1;
+        let lit_len = read_count(src, &mut pos, (token >> 4) as usize);
+        out.extend_from_slice(&src[pos..pos + lit_len]);
+        pos += lit_len;
+        if out.len() >= expected_len || pos >= src.len() {
+            break; // final literals-only sequence
+        }
+        let offset = u16::from_le_bytes([src[pos], src[pos + 1]]) as usize;
+        pos += 2;
+        let match_len = MIN_MATCH + read_count(src, &mut pos, (token & 0x0f) as usize);
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c, data.len()), data, "len {}", data.len());
+    }
+
+    #[test]
+    fn roundtrip_basic() {
+        rt(b"");
+        rt(b"q");
+        rt(b"abcd");
+        rt(b"abcdabcdabcdabcd");
+    }
+
+    #[test]
+    fn roundtrip_long_runs_extended_counts() {
+        rt(&vec![3u8; 10_000]); // match count extension
+        let mut data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        data.extend_from_slice(&[7u8; 300]);
+        rt(&data); // literal count extension (mostly unique 4-byte words)
+    }
+
+    #[test]
+    fn roundtrip_boundary_literal_counts() {
+        // Literal runs of exactly 14, 15, 16 bytes before a match.
+        for lits in [14usize, 15, 16, 269, 270, 271] {
+            let mut data: Vec<u8> = (0..lits as u32).map(|i| (i % 251) as u8 ^ 0x55).collect();
+            data.extend_from_slice(b"matchmatchmatchmatch");
+            rt(&data);
+        }
+    }
+
+    #[test]
+    fn compresses_repeats() {
+        let data: Vec<u8> = b"0123456789".iter().copied().cycle().take(8192).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "{}", c.len());
+    }
+
+    #[test]
+    fn far_matches_beyond_u16_ignored() {
+        let mut data = vec![0x11u8; 8];
+        data.extend(std::iter::repeat_n(0u8, 70_000));
+        data.extend_from_slice(&[0x11u8; 8]);
+        rt(&data);
+    }
+}

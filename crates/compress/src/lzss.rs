@@ -1,0 +1,226 @@
+//! LZSS match stage of the gzip-like codec.
+//!
+//! Produces a byte-oriented token stream (later entropy-coded by the Huffman
+//! stage): groups of eight items are prefixed by a flag byte whose bits say
+//! literal (0) or match (1). A match is `len_code` (one byte, encoding
+//! lengths 3..=258) followed by a little-endian u16 distance (1..=32768,
+//! stored minus one). The 32 KiB window and 258-byte max match mirror
+//! DEFLATE's parameters, which is what makes the block-size-vs-ratio trend in
+//! the paper's Figure 2 come out: blocks smaller than the window cannot
+//! exploit long-range redundancy.
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// Match-finder effort (max hash-chain probes) for a zlib-style level.
+pub fn effort_for_level(level: u8) -> usize {
+    match level {
+        0..=1 => 4,
+        2..=3 => 16,
+        4..=5 => 48,
+        6 => 128,
+        7 => 256,
+        8 => 512,
+        _ => 1024,
+    }
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// LZSS-compress `data` with up to `effort` chain probes per position.
+pub fn compress(data: &[u8], effort: usize) -> Vec<u8> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n == 0 {
+        return out;
+    }
+
+    // Hash chains: head[h] = most recent position with hash h; prev[i % WINDOW]
+    // links to the previous position with the same hash.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let mut flag_pos = 0usize;
+    // Start "full" so the first item opens a fresh flag byte before any
+    // payload is emitted; rollover must happen before payload bytes, or the
+    // next group's flag byte would land in the middle of this item's payload.
+    let mut flag_bit = 8u8;
+
+    macro_rules! bump_flag {
+        ($is_match:expr) => {
+            if flag_bit == 8 {
+                flag_bit = 0;
+                flag_pos = out.len();
+                out.push(0);
+            }
+            if $is_match {
+                out[flag_pos] |= 1 << flag_bit;
+            }
+            flag_bit += 1;
+        };
+    }
+
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut probes = effort;
+            let limit = i.saturating_sub(WINDOW);
+            let max_len = (n - i).min(MAX_MATCH);
+            while cand != usize::MAX && cand >= limit && probes > 0 {
+                // Quick reject: compare the byte one past the current best.
+                if best_len == 0 || data[cand + best_len] == data[i + best_len] {
+                    let mut l = 0usize;
+                    while l < max_len && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l >= max_len {
+                            break;
+                        }
+                    }
+                }
+                let next = prev[cand % WINDOW];
+                if next >= cand {
+                    break; // chain left the window (stale entry)
+                }
+                cand = next;
+                probes -= 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            bump_flag!(true);
+            out.push((best_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&((best_dist - 1) as u16).to_le_bytes());
+            // Insert every covered position into the chains so later matches
+            // can reference the middle of this match.
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            for j in i..end {
+                let h = hash3(data, j);
+                prev[j % WINDOW] = head[h];
+                head[h] = j;
+            }
+            i += best_len;
+        } else {
+            bump_flag!(false);
+            out.push(data[i]);
+            if i + MIN_MATCH <= n {
+                let h = hash3(data, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Reverse of [`compress`]. `expected_len` bounds the output and terminates
+/// decoding (the token stream carries no explicit end marker).
+pub fn decompress(tokens: &[u8], expected_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    'outer: while pos < tokens.len() && out.len() < expected_len {
+        let flags = tokens[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() >= expected_len || pos >= tokens.len() {
+                break 'outer;
+            }
+            if flags & (1 << bit) != 0 {
+                let len = tokens[pos] as usize + MIN_MATCH;
+                let dist =
+                    u16::from_le_bytes([tokens[pos + 1], tokens[pos + 2]]) as usize + 1;
+                pos += 3;
+                let start = out.len() - dist;
+                // Byte-by-byte copy: matches may self-overlap (RLE case).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                out.push(tokens[pos]);
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(data: &[u8], effort: usize) {
+        let toks = compress(data, effort);
+        assert_eq!(decompress(&toks, data.len()), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        rt(b"", 128);
+    }
+
+    #[test]
+    fn roundtrip_short_strings() {
+        rt(b"a", 128);
+        rt(b"aa", 128);
+        rt(b"aaa", 128);
+        rt(b"abcabcabcabc", 128);
+    }
+
+    #[test]
+    fn roundtrip_overlapping_match_rle() {
+        // dist=1 self-overlapping copy is the classic tricky case.
+        rt(&vec![b'x'; 1000], 128);
+    }
+
+    #[test]
+    fn roundtrip_exact_window_boundary() {
+        let mut data = vec![0u8; WINDOW + 100];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        rt(&data, 64);
+    }
+
+    #[test]
+    fn long_repeats_shrink_a_lot() {
+        let data: Vec<u8> = b"0123456789abcdef".iter().copied().cycle().take(4096).collect();
+        let toks = compress(&data, 128);
+        assert!(toks.len() < data.len() / 4, "{} vs {}", toks.len(), data.len());
+    }
+
+    #[test]
+    fn higher_effort_never_worse_on_repetitive_input() {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(format!("entry-{:04} ", i % 97).as_bytes());
+        }
+        let low = compress(&data, 4).len();
+        let high = compress(&data, 1024).len();
+        assert!(high <= low, "high {high} low {low}");
+        rt(&data, 4);
+        rt(&data, 1024);
+    }
+
+    #[test]
+    fn max_match_length_encodable() {
+        // A run longer than MAX_MATCH must be split into several matches.
+        let data = vec![7u8; MAX_MATCH * 3 + 5];
+        rt(&data, 128);
+    }
+}

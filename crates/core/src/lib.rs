@@ -1,0 +1,35 @@
+//! Squirrel: scatter hoarding VM image contents on IaaS compute nodes.
+//!
+//! This crate is the paper's primary contribution: a *fully replicated*
+//! storage architecture that keeps the deduplicated, compressed boot caches
+//! of **all** registered VM images on **every** compute node of the data
+//! center, so that any VM can boot anywhere without touching the network.
+//!
+//! Architecture (paper Figure 5): the storage nodes run a parallel file
+//! system holding the full VMIs plus one *scVolume* — a dedup+gzip ZFS pool
+//! of VMI caches. Every compute node runs a *ccVolume*, a replica of the
+//! scVolume kept in sync via incremental snapshot streams.
+//!
+//! Workflows implemented here:
+//!
+//! * [`Squirrel::register`] — first-boot the image on a storage node behind
+//!   a copy-on-read cache, move the captured boot working set into the
+//!   scVolume, snapshot it, and multicast the incremental snapshot diff to
+//!   all online compute nodes (Section 3.2, Figure 6).
+//! * [`Squirrel::boot`] — chain a copy-on-write image over the node's
+//!   ccVolume; warm caches boot with *zero* network traffic, missing caches
+//!   fall back to CoW-over-parallel-FS (Section 3.3, Figure 7).
+//! * [`Squirrel::deregister`] + [`Squirrel::gc`] — delete the cache and
+//!   collect snapshots older than the `n`-day propagation window, always
+//!   keeping the latest (Section 3.4).
+//! * [`Squirrel::node_offline`] / [`Squirrel::node_rejoin`] — lagging nodes
+//!   catch up with an incremental stream when their last snapshot is still
+//!   within the window, or fall back to full re-replication (Section 3.5).
+
+mod system;
+mod trace;
+
+pub use system::{
+    BootOutcome, RegisterReport, RejoinOutcome, Squirrel, SquirrelConfig, SquirrelError,
+};
+pub use trace::paper_scale_trace;

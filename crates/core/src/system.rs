@@ -1,0 +1,895 @@
+//! The Squirrel system: scVolume, ccVolumes, and the paper's workflows.
+
+use crate::trace::paper_scale_trace;
+use squirrel_bootsim::{Backend, BootReport, BootSim, DedupVolumeParams};
+use squirrel_cluster::{GlusterConfig, GlusterVolume, LinkKind, Network, NodeId};
+use squirrel_compress::Codec;
+use squirrel_dataset::{Corpus, ImageId};
+use squirrel_qcow::{CorCache, VirtualDisk};
+use squirrel_zfs::{PoolConfig, RecvError, SpaceStats, ZPool};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// System configuration; defaults match the paper's deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct SquirrelConfig {
+    /// cVolume record size. The paper's evaluation picks 64 KiB.
+    pub block_size: usize,
+    /// cVolume compression. The paper picks gzip-6.
+    pub codec: Codec,
+    /// Snapshot retention window `n`, in days (offline propagation window).
+    pub gc_window_days: u64,
+    /// Interconnect used for propagation and cold-path traffic.
+    pub link: LinkKind,
+    pub compute_nodes: u32,
+    pub storage_nodes: u32,
+}
+
+impl Default for SquirrelConfig {
+    fn default() -> Self {
+        SquirrelConfig {
+            block_size: 64 * 1024,
+            codec: Codec::Gzip(6),
+            gc_window_days: 7,
+            link: LinkKind::GbE,
+            compute_nodes: 64,
+            storage_nodes: 4,
+        }
+    }
+}
+
+/// Errors surfaced by Squirrel's operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SquirrelError {
+    UnknownImage(ImageId),
+    AlreadyRegistered(ImageId),
+    NotRegistered(ImageId),
+    NodeOffline(NodeId),
+    NoSuchNode(NodeId),
+}
+
+impl std::fmt::Display for SquirrelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SquirrelError::UnknownImage(i) => write!(f, "unknown image {i}"),
+            SquirrelError::AlreadyRegistered(i) => write!(f, "image {i} already registered"),
+            SquirrelError::NotRegistered(i) => write!(f, "image {i} not registered"),
+            SquirrelError::NodeOffline(n) => write!(f, "node {n} is offline"),
+            SquirrelError::NoSuchNode(n) => write!(f, "no such compute node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SquirrelError {}
+
+/// Outcome of a registration (paper Figure 6).
+#[derive(Clone, Debug)]
+pub struct RegisterReport {
+    pub image: ImageId,
+    /// Bytes the copy-on-read boot captured (the raw cache size).
+    pub cache_bytes: u64,
+    /// Snapshot-diff wire size multicast to the compute nodes.
+    pub diff_wire_bytes: u64,
+    /// Compute nodes whose ccVolume received the diff.
+    pub nodes_updated: u32,
+    /// End-to-end registration seconds (first boot + snapshot + multicast).
+    pub seconds: f64,
+    /// Snapshot tag created on the scVolume.
+    pub snapshot_tag: String,
+}
+
+/// Outcome of a VM boot on a compute node (paper Figure 7).
+#[derive(Clone, Debug)]
+pub struct BootOutcome {
+    pub image: ImageId,
+    pub node: NodeId,
+    /// True when the node's ccVolume held the cache (scatter-hoard hit).
+    pub warm: bool,
+    /// Bytes this boot moved over the network to the compute node.
+    pub net_bytes: u64,
+    /// Simulated boot duration at paper scale.
+    pub report: BootReport,
+}
+
+/// Outcome of a lagging node's catch-up (paper Section 3.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejoinOutcome {
+    /// Node was already in sync.
+    UpToDate,
+    /// Incremental snapshot stream applied.
+    Incremental { wire_bytes: u64 },
+    /// Base snapshot was collected; the whole scVolume was re-replicated.
+    FullReplication { wire_bytes: u64 },
+}
+
+struct ComputeNode {
+    ccvol: ZPool,
+    online: bool,
+}
+
+struct Registration {
+    snapshot_tag: String,
+    day: u64,
+}
+
+/// The system: one scVolume, `compute_nodes` ccVolumes, a parallel FS for
+/// the raw images, and a simulated clock (days).
+pub struct Squirrel {
+    config: SquirrelConfig,
+    corpus: Arc<Corpus>,
+    net: Network,
+    gluster: GlusterVolume,
+    scvol: ZPool,
+    nodes: Vec<ComputeNode>,
+    registered: BTreeMap<ImageId, Registration>,
+    day: u64,
+    snapshot_days: BTreeMap<String, u64>,
+    /// Monotonic registration counter: snapshot tags must be unique even
+    /// when an image is deregistered and registered again.
+    reg_seq: u64,
+    sim: BootSim,
+}
+
+/// Adapter: expose a corpus image as a [`VirtualDisk`] for the registration
+/// boot chain.
+struct ImageDisk {
+    corpus: Arc<Corpus>,
+    image: ImageId,
+}
+
+impl VirtualDisk for ImageDisk {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) {
+        self.corpus.image(self.image).read_at(offset, buf);
+    }
+
+    fn len(&self) -> u64 {
+        self.corpus.image(self.image).virtual_bytes()
+    }
+}
+
+impl Squirrel {
+    /// Bring up the system for `corpus` (images known, none registered).
+    pub fn new(config: SquirrelConfig, corpus: Arc<Corpus>) -> Self {
+        assert!(config.storage_nodes >= 4, "gluster 2x2 needs four bricks");
+        let net = Network::new(config.link, config.compute_nodes, config.storage_nodes);
+        let bricks: Vec<NodeId> =
+            (config.compute_nodes..config.compute_nodes + 4).collect();
+        let gluster = GlusterVolume::new(GlusterConfig::default(), bricks);
+        let pool_cfg = PoolConfig::new(config.block_size, config.codec);
+        let nodes = (0..config.compute_nodes)
+            .map(|_| ComputeNode { ccvol: ZPool::new(pool_cfg), online: true })
+            .collect();
+        Squirrel {
+            config,
+            corpus,
+            net,
+            gluster,
+            scvol: ZPool::new(pool_cfg),
+            nodes,
+            registered: BTreeMap::new(),
+            day: 0,
+            snapshot_days: BTreeMap::new(),
+            reg_seq: 0,
+            sim: BootSim::new(),
+        }
+    }
+
+    pub fn config(&self) -> &SquirrelConfig {
+        &self.config
+    }
+
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The simulated clock, in days since bring-up.
+    pub fn today(&self) -> u64 {
+        self.day
+    }
+
+    /// Advance the clock (drives the GC window).
+    pub fn advance_days(&mut self, days: u64) {
+        self.day += days;
+    }
+
+    fn cache_file_name(image: ImageId) -> String {
+        format!("cache-{image:06}")
+    }
+
+    fn snapshot_tag(image: ImageId, seq: u64) -> String {
+        format!("vmi-{image:06}-r{seq}")
+    }
+
+    /// Register an image (paper Section 3.2): first boot on a storage node
+    /// behind a copy-on-read cache, store the cache into the scVolume,
+    /// snapshot, and multicast the incremental diff to online nodes.
+    pub fn register(&mut self, image: ImageId) -> Result<RegisterReport, SquirrelError> {
+        if (image as usize) >= self.corpus.len() {
+            return Err(SquirrelError::UnknownImage(image));
+        }
+        if self.registered.contains_key(&image) {
+            return Err(SquirrelError::AlreadyRegistered(image));
+        }
+
+        // 1. First boot behind a CoR cache on the storage node. The cache
+        //    captures exactly the boot working set.
+        let handle = self.corpus.image(image);
+        let cache_view = handle.cache();
+        let trace = cache_view.boot_trace();
+        let mut cor = CorCache::new(
+            ImageDisk { corpus: Arc::clone(&self.corpus), image },
+            self.config.block_size,
+        );
+        for op in &trace.ops {
+            let mut buf = vec![0u8; op.len as usize];
+            cor.read_at(op.offset, &mut buf);
+        }
+        let cache_bytes = cor.cached_bytes();
+
+        // 2. Move the cache from memory into the scVolume.
+        let name = Self::cache_file_name(image);
+        let blocks = cor.into_blocks();
+        self.scvol.create_file(&name);
+        for (idx, data) in &blocks {
+            self.scvol.write_block(&name, *idx, data);
+        }
+
+        // 3. Snapshot the scVolume for this registration.
+        self.reg_seq += 1;
+        let tag = Self::snapshot_tag(image, self.reg_seq);
+        self.scvol.snapshot(&tag);
+        self.snapshot_days.insert(tag.clone(), self.day);
+
+        // 4. Multicast the incremental diff to all online compute nodes.
+        let stream = self.scvol.send_latest().expect("snapshot just created");
+        let wire = stream.wire_bytes();
+        let online: Vec<NodeId> = (0..self.nodes.len() as u32)
+            .filter(|&n| self.nodes[n as usize].online)
+            .collect();
+        let mut transfer_secs = 0.0;
+        if !online.is_empty() {
+            let src = self.config.compute_nodes; // first storage node
+            transfer_secs = self.net.multicast(src, &online, wire);
+        }
+        let mut updated = 0;
+        for &n in &online {
+            match self.nodes[n as usize].ccvol.recv(&stream) {
+                Ok(()) => updated += 1,
+                Err(RecvError::MissingBase(_)) => {
+                    // Shouldn't happen for online nodes; they sync on rejoin.
+                }
+                Err(RecvError::DuplicateTip(_)) => unreachable!("fresh tag"),
+            }
+        }
+
+        // First boot takes a normal boot's time (paper: ~20 s), snapshot
+        // creation is cheap, multicast as computed.
+        let first_boot = self
+            .sim
+            .boot(
+                &paper_scale_trace(self.paper_ws_bytes(image), image as u64),
+                &Backend::ColdCache {
+                    net_mbps: self.config.link.mbps(),
+                    image_bytes: self.paper_image_bytes(image),
+                },
+            )
+            .total_seconds;
+
+        self.registered.insert(image, Registration { snapshot_tag: tag.clone(), day: self.day });
+        Ok(RegisterReport {
+            image,
+            cache_bytes,
+            diff_wire_bytes: wire,
+            nodes_updated: updated,
+            seconds: first_boot + 1.0 + transfer_secs,
+            snapshot_tag: tag,
+        })
+    }
+
+    /// Paper-volume working-set bytes of `image` (scaled back up).
+    fn paper_ws_bytes(&self, image: ImageId) -> u64 {
+        self.corpus.image(image).cache().bytes() * self.corpus.config().scale
+    }
+
+    /// Paper-volume virtual image size.
+    fn paper_image_bytes(&self, image: ImageId) -> u64 {
+        self.corpus.image(image).virtual_bytes() * self.corpus.config().scale
+    }
+
+    /// Boot `image` on compute node `node` (paper Section 3.3): warm when
+    /// the ccVolume holds the cache (zero network I/O), cold otherwise
+    /// (CoW over the parallel file system).
+    pub fn boot(&mut self, node: NodeId, image: ImageId) -> Result<BootOutcome, SquirrelError> {
+        let n = self
+            .nodes
+            .get(node as usize)
+            .ok_or(SquirrelError::NoSuchNode(node))?;
+        if !n.online {
+            return Err(SquirrelError::NodeOffline(node));
+        }
+        if (image as usize) >= self.corpus.len() {
+            return Err(SquirrelError::UnknownImage(image));
+        }
+
+        let name = Self::cache_file_name(image);
+        let trace = paper_scale_trace(self.paper_ws_bytes(image), image as u64);
+        let warm = n.ccvol.has_file(&name);
+
+        if warm {
+            // Derive dedup-backend parameters from the real ccVolume.
+            let stats = n.ccvol.stats();
+            let scale = self.corpus.config().scale;
+            let threshold = 1 + n.ccvol.snapshot_tags().len() as u64;
+            let shared = n
+                .ccvol
+                .file_shared_fraction(&name, threshold)
+                .unwrap_or(0.6);
+            let params = DedupVolumeParams {
+                record_size: self.config.block_size as u64,
+                compressed_fraction: (stats.physical_bytes as f64
+                    / (stats.unique_blocks.max(1) * stats.block_size) as f64)
+                    .clamp(0.05, 1.0),
+                ddt_entries: stats.unique_blocks * scale / self.config.block_size as u64 * 512,
+                pool_physical_bytes: (stats.physical_bytes * scale).max(1),
+                shared_fraction: shared,
+                ..DedupVolumeParams::new(self.config.block_size as u64)
+            };
+            let report = self.sim.boot(&trace, &Backend::DedupVolume(params));
+            Ok(BootOutcome { image, node, warm: true, net_bytes: 0, report })
+        } else {
+            // Cold path: the boot working set crosses the network from the
+            // parallel file system (charged at corpus scale in the ledger,
+            // simulated at paper scale for timing).
+            let ws_corpus_scale = self.corpus.image(image).cache().bytes();
+            self.gluster.read(&mut self.net, node, 0, ws_corpus_scale);
+            let report = self.sim.boot(
+                &trace,
+                &Backend::ColdCache {
+                    net_mbps: self.config.link.mbps(),
+                    image_bytes: self.paper_image_bytes(image),
+                },
+            );
+            Ok(BootOutcome {
+                image,
+                node,
+                warm: false,
+                net_bytes: ws_corpus_scale,
+                report,
+            })
+        }
+    }
+
+    /// Deregister an image (paper Section 3.4): delete the VMI and its
+    /// cache from the scVolume. No snapshot is taken; the deletion reaches
+    /// ccVolumes with the next registration's diff.
+    pub fn deregister(&mut self, image: ImageId) -> Result<(), SquirrelError> {
+        let reg = self
+            .registered
+            .remove(&image)
+            .ok_or(SquirrelError::NotRegistered(image))?;
+        let _ = reg;
+        self.scvol.delete_file(&Self::cache_file_name(image));
+        Ok(())
+    }
+
+    /// Daily garbage collection (paper Section 3.4): on every cVolume, keep
+    /// snapshots from the last `n` days plus the latest one regardless of
+    /// age.
+    pub fn gc(&mut self) {
+        let cutoff = self.day.saturating_sub(self.config.gc_window_days);
+        let latest = self.scvol.latest_snapshot().map(|s| s.to_string());
+        let doomed: Vec<String> = self
+            .scvol
+            .snapshot_tags()
+            .iter()
+            .filter(|t| {
+                Some(**t) != latest.as_deref()
+                    && self.snapshot_days.get(**t).copied().unwrap_or(0) < cutoff
+            })
+            .map(|t| t.to_string())
+            .collect();
+        for tag in &doomed {
+            self.scvol.destroy_snapshot(tag);
+            for node in &mut self.nodes {
+                node.ccvol.destroy_snapshot(tag);
+            }
+            self.snapshot_days.remove(tag);
+        }
+    }
+
+    /// Take a compute node offline (fail-stop).
+    pub fn node_offline(&mut self, node: NodeId) -> Result<(), SquirrelError> {
+        self.nodes
+            .get_mut(node as usize)
+            .ok_or(SquirrelError::NoSuchNode(node))?
+            .online = false;
+        Ok(())
+    }
+
+    /// Bring a node back (paper Section 3.5): ask for the diff between its
+    /// latest local snapshot and the scVolume's latest; if the base is gone
+    /// (offline longer than `n` days), replicate the whole scVolume.
+    pub fn node_rejoin(&mut self, node: NodeId) -> Result<RejoinOutcome, SquirrelError> {
+        let idx = node as usize;
+        if idx >= self.nodes.len() {
+            return Err(SquirrelError::NoSuchNode(node));
+        }
+        self.nodes[idx].online = true;
+
+        let sc_latest = match self.scvol.latest_snapshot() {
+            Some(t) => t.to_string(),
+            None => return Ok(RejoinOutcome::UpToDate),
+        };
+        let local_latest = self.nodes[idx].ccvol.latest_snapshot().map(|s| s.to_string());
+        if local_latest.as_deref() == Some(sc_latest.as_str()) {
+            return Ok(RejoinOutcome::UpToDate);
+        }
+
+        let storage = self.config.compute_nodes;
+        // Try incremental first.
+        if let Some(base) = &local_latest {
+            if self.scvol.has_snapshot(base) {
+                let stream = self
+                    .scvol
+                    .send_between(Some(base), &sc_latest)
+                    .expect("both snapshots exist");
+                let wire = stream.wire_bytes();
+                self.net.unicast(storage, node, wire);
+                self.nodes[idx]
+                    .ccvol
+                    .recv(&stream)
+                    .expect("base verified present");
+                return Ok(RejoinOutcome::Incremental { wire_bytes: wire });
+            }
+        }
+
+        // Full replication: rebuild the ccVolume from a full stream.
+        let stream = self
+            .scvol
+            .send_between(None, &sc_latest)
+            .expect("latest snapshot exists");
+        let wire = stream.wire_bytes();
+        self.net.unicast(storage, node, wire);
+        let mut fresh = ZPool::new(PoolConfig::new(self.config.block_size, self.config.codec));
+        fresh.recv(&stream).expect("full stream");
+        self.nodes[idx].ccvol = fresh;
+        Ok(RejoinOutcome::FullReplication { wire_bytes: wire })
+    }
+
+    /// Replay `image`'s boot trace on `node` through the *real* data path —
+    /// a QCOW2-style CoW overlay chained onto a copy-on-read layer that is
+    /// pre-populated from the node's ccVolume (decompressing actual pool
+    /// records) and backed by the image over the parallel FS — verifying
+    /// every byte against the image's ground-truth content.
+    ///
+    /// Returns `(bytes_verified, backing_fetches)`; a warm cache must give
+    /// zero backing fetches for reads inside the working set.
+    pub fn verify_boot(
+        &mut self,
+        node: NodeId,
+        image: ImageId,
+    ) -> Result<(u64, u64), SquirrelError> {
+        let n = self
+            .nodes
+            .get(node as usize)
+            .ok_or(SquirrelError::NoSuchNode(node))?;
+        if !n.online {
+            return Err(SquirrelError::NodeOffline(node));
+        }
+        if (image as usize) >= self.corpus.len() {
+            return Err(SquirrelError::UnknownImage(image));
+        }
+
+        let bs = self.config.block_size;
+        let mut chain = squirrel_qcow::CowImage::new(CorCache::new(
+            ImageDisk { corpus: Arc::clone(&self.corpus), image },
+            bs,
+        ));
+        // Warm the CoR layer from the ccVolume's cache file, exercising the
+        // full decompress path of the pool.
+        let name = Self::cache_file_name(image);
+        if let Some(len) = n.ccvol.file_len(&name) {
+            let blocks = len.div_ceil(bs as u64);
+            for b in 0..blocks {
+                let data = n.ccvol.read_block(&name, b).expect("file exists");
+                chain.backing().prepopulate(b, &data);
+            }
+        }
+
+        let handle = self.corpus.image(image);
+        let trace = handle.cache().boot_trace();
+        let mut verified = 0u64;
+        let mut expect = Vec::new();
+        let mut got = Vec::new();
+        for op in &trace.ops {
+            expect.resize(op.len as usize, 0);
+            got.resize(op.len as usize, 0);
+            handle.read_at(op.offset, &mut expect);
+            chain.read_at(op.offset, &mut got);
+            if expect != got {
+                panic!(
+                    "boot data corruption: image {image} node {node} at offset {}",
+                    op.offset
+                );
+            }
+            verified += op.len as u64;
+        }
+        Ok((verified, chain.backing().fetch_count))
+    }
+
+    /// Boot a sequence of images on `node`, reading every cache block
+    /// through a byte-bounded ARC, and report the cache statistics. This
+    /// *measures* the cross-VMI hot-record effect that the boot simulator's
+    /// `hot_fraction` parameter assumes: records shared between working
+    /// sets stay resident across consecutive boots of different images.
+    pub fn measure_arc_hit_rate(
+        &mut self,
+        node: NodeId,
+        images: &[ImageId],
+        arc_bytes: u64,
+    ) -> Result<squirrel_zfs::ArcStats, SquirrelError> {
+        let n = self
+            .nodes
+            .get(node as usize)
+            .ok_or(SquirrelError::NoSuchNode(node))?;
+        if !n.online {
+            return Err(SquirrelError::NodeOffline(node));
+        }
+        let bs = self.config.block_size as u64;
+        let mut arc = squirrel_zfs::ArcCache::new(arc_bytes);
+        for &image in images {
+            if (image as usize) >= self.corpus.len() {
+                return Err(SquirrelError::UnknownImage(image));
+            }
+            let name = Self::cache_file_name(image);
+            let Some(len) = n.ccvol.file_len(&name) else {
+                continue; // not hoarded: nothing to measure
+            };
+            for b in 0..len.div_ceil(bs) {
+                arc.read_through(&n.ccvol, &name, b);
+            }
+        }
+        Ok(arc.stats())
+    }
+
+    /// Evict one cache from one node's ccVolume (models a capacity-limited
+    /// node running a replacement policy instead of full scatter hoarding —
+    /// the traditional alternative the paper argues against). Returns `true`
+    /// if the cache was present. Subsequent boots of that image on that
+    /// node take the cold path until the next diff restores it.
+    pub fn evict_cache(&mut self, node: NodeId, image: ImageId) -> Result<bool, SquirrelError> {
+        let n = self
+            .nodes
+            .get_mut(node as usize)
+            .ok_or(SquirrelError::NoSuchNode(node))?;
+        let name = Self::cache_file_name(image);
+        let had = n.ccvol.has_file(&name);
+        n.ccvol.delete_file(&name);
+        Ok(had)
+    }
+
+    /// Whether `node`'s ccVolume currently holds `image`'s cache.
+    pub fn has_cache(&self, node: NodeId, image: ImageId) -> bool {
+        self.nodes
+            .get(node as usize)
+            .is_some_and(|n| n.ccvol.has_file(&Self::cache_file_name(image)))
+    }
+
+    // --- introspection for experiments and tests ---------------------------
+
+    pub fn registered_images(&self) -> Vec<ImageId> {
+        self.registered.keys().copied().collect()
+    }
+
+    /// Snapshot tag and registration day of `image`, if registered.
+    pub fn registration_info(&self, image: ImageId) -> Option<(&str, u64)> {
+        self.registered
+            .get(&image)
+            .map(|r| (r.snapshot_tag.as_str(), r.day))
+    }
+
+    pub fn is_registered(&self, image: ImageId) -> bool {
+        self.registered.contains_key(&image)
+    }
+
+    pub fn scvol_stats(&self) -> SpaceStats {
+        self.scvol.stats()
+    }
+
+    pub fn ccvol_stats(&self, node: NodeId) -> Option<SpaceStats> {
+        self.nodes.get(node as usize).map(|n| n.ccvol.stats())
+    }
+
+    pub fn ccvol_file_count(&self, node: NodeId) -> Option<usize> {
+        self.nodes.get(node as usize).map(|n| n.ccvol.file_count())
+    }
+
+    pub fn node_is_online(&self, node: NodeId) -> bool {
+        self.nodes.get(node as usize).is_some_and(|n| n.online)
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Consistency check: every online node's ccVolume mirrors the
+    /// scVolume's state *as of its latest snapshot* — deregistrations after
+    /// the last snapshot intentionally haven't propagated yet (they ride
+    /// along with the next registration's diff, paper Section 3.4).
+    pub fn check_replication(&self) -> bool {
+        let reference: Vec<&str> = match self.scvol.latest_snapshot() {
+            Some(tag) => self
+                .scvol
+                .snapshot_file_names(tag)
+                .expect("latest snapshot exists"),
+            None => self.scvol.file_names().collect(),
+        };
+        self.nodes.iter().filter(|n| n.online).all(|n| {
+            let cc: Vec<&str> = n.ccvol.file_names().collect();
+            cc == reference
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squirrel_dataset::CorpusConfig;
+
+    fn small_system(nodes: u32) -> Squirrel {
+        let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+        Squirrel::new(
+            SquirrelConfig {
+                compute_nodes: nodes,
+                block_size: 16 * 1024,
+                ..Default::default()
+            },
+            corpus,
+        )
+    }
+
+    #[test]
+    fn register_propagates_to_all_nodes() {
+        let mut sq = small_system(4);
+        let r = sq.register(0).expect("register");
+        assert_eq!(r.nodes_updated, 4);
+        assert!(r.cache_bytes > 0);
+        assert!(r.diff_wire_bytes > 0);
+        assert!(sq.check_replication());
+        for n in 0..4 {
+            assert_eq!(sq.ccvol_file_count(n), Some(1));
+        }
+    }
+
+    #[test]
+    fn register_twice_fails() {
+        let mut sq = small_system(2);
+        sq.register(1).expect("first");
+        assert!(matches!(
+            sq.register(1),
+            Err(SquirrelError::AlreadyRegistered(1))
+        ));
+    }
+
+    #[test]
+    fn warm_boot_has_zero_network_traffic() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("register");
+        sq.network_mut().reset_ledgers();
+        let out = sq.boot(1, 0).expect("boot");
+        assert!(out.warm);
+        assert_eq!(out.net_bytes, 0);
+        assert_eq!(sq.network().ledger(1).rx_bytes, 0);
+        assert!(out.report.total_seconds > 5.0 && out.report.total_seconds < 60.0);
+    }
+
+    #[test]
+    fn cold_boot_crosses_network() {
+        let mut sq = small_system(2);
+        sq.network_mut().reset_ledgers();
+        let out = sq.boot(0, 3).expect("boot unregistered image");
+        assert!(!out.warm);
+        assert!(out.net_bytes > 0);
+        assert_eq!(sq.network().ledger(0).rx_bytes, out.net_bytes);
+    }
+
+    #[test]
+    fn warm_boot_faster_than_cold() {
+        let mut sq = small_system(2);
+        sq.register(2).expect("register");
+        let warm = sq.boot(0, 2).expect("warm");
+        let cold = sq.boot(1, 3).expect("cold");
+        assert!(
+            warm.report.total_seconds < cold.report.total_seconds,
+            "warm {} cold {}",
+            warm.report.total_seconds,
+            cold.report.total_seconds
+        );
+    }
+
+    #[test]
+    fn deregister_then_next_register_propagates_deletion() {
+        let mut sq = small_system(3);
+        sq.register(0).expect("r0");
+        sq.register(1).expect("r1");
+        sq.deregister(0).expect("deregister");
+        // ccVolumes still hold cache-0 (no snapshot on delete).
+        assert_eq!(sq.ccvol_file_count(0), Some(2));
+        sq.register(2).expect("r2");
+        // The new diff carries the deletion.
+        assert_eq!(sq.ccvol_file_count(0), Some(2));
+        assert!(sq.check_replication());
+    }
+
+    #[test]
+    fn offline_node_misses_diffs_then_catches_up_incrementally() {
+        let mut sq = small_system(3);
+        sq.register(0).expect("r0");
+        sq.node_offline(2).expect("offline");
+        sq.register(1).expect("r1");
+        assert_eq!(sq.ccvol_file_count(2), Some(1), "missed the diff");
+        let outcome = sq.node_rejoin(2).expect("rejoin");
+        assert!(matches!(outcome, RejoinOutcome::Incremental { .. }), "{outcome:?}");
+        assert!(sq.check_replication());
+    }
+
+    #[test]
+    fn long_offline_node_needs_full_replication() {
+        let mut sq = small_system(3);
+        sq.register(0).expect("r0");
+        sq.node_offline(1).expect("offline");
+        sq.advance_days(10);
+        sq.register(1).expect("r1");
+        sq.advance_days(10);
+        sq.register(2).expect("r2");
+        sq.gc(); // collects vmi-0 and vmi-1 (older than the window)
+        let outcome = sq.node_rejoin(1).expect("rejoin");
+        assert!(
+            matches!(outcome, RejoinOutcome::FullReplication { .. }),
+            "{outcome:?}"
+        );
+        assert!(sq.check_replication());
+    }
+
+    #[test]
+    fn gc_keeps_latest_snapshot_regardless_of_age() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("r0");
+        sq.advance_days(100);
+        sq.gc();
+        assert!(sq.scvol_stats().unique_blocks > 0);
+        // Latest snapshot must survive.
+        let outcome = sq.node_rejoin(0).expect("rejoin");
+        assert_eq!(outcome, RejoinOutcome::UpToDate);
+    }
+
+    #[test]
+    fn rejoin_when_up_to_date_is_noop() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("r0");
+        let outcome = sq.node_rejoin(1).expect("rejoin");
+        assert_eq!(outcome, RejoinOutcome::UpToDate);
+    }
+
+    #[test]
+    fn boot_on_offline_node_fails() {
+        let mut sq = small_system(2);
+        sq.node_offline(0).expect("offline");
+        assert!(matches!(sq.boot(0, 0), Err(SquirrelError::NodeOffline(0))));
+    }
+
+    #[test]
+    fn scvol_grows_sublinearly_with_registrations() {
+        // The scatter-hoarding feasibility claim: caches dedup heavily.
+        // Use a corpus whose head images are all Ubuntu (the census head),
+        // like the real catalog where one family dominates.
+        let corpus = Arc::new(Corpus::generate(
+            CorpusConfig { scale: 1024, ..CorpusConfig::test_corpus(16, 77) },
+        ));
+        let mut sq = Squirrel::new(
+            SquirrelConfig { compute_nodes: 1, block_size: 16 * 1024, ..Default::default() },
+            corpus,
+        );
+        sq.register(0).expect("r");
+        let one = sq.scvol_stats().total_disk_bytes();
+        for i in 1..8 {
+            sq.register(i).expect("r");
+        }
+        let eight = sq.scvol_stats().total_disk_bytes();
+        assert!(
+            (eight as f64) < 5.0 * one as f64,
+            "eight caches {eight} vs one {one}: dedup must help"
+        );
+    }
+
+    #[test]
+    fn errors_on_unknown_entities() {
+        let mut sq = small_system(1);
+        assert!(matches!(sq.register(999), Err(SquirrelError::UnknownImage(999))));
+        assert!(matches!(sq.deregister(0), Err(SquirrelError::NotRegistered(0))));
+        assert!(matches!(sq.boot(9, 0), Err(SquirrelError::NoSuchNode(9))));
+        assert!(matches!(sq.node_offline(9), Err(SquirrelError::NoSuchNode(9))));
+    }
+
+    #[test]
+    fn arc_hit_rate_rises_with_cross_vmi_sharing() {
+        // Booting several same-family images back to back: later boots hit
+        // the records earlier boots left resident.
+        let corpus = Arc::new(Corpus::generate(
+            CorpusConfig { scale: 1024, ..CorpusConfig::test_corpus(12, 77) },
+        ));
+        let mut sq = Squirrel::new(
+            SquirrelConfig { compute_nodes: 1, block_size: 16 * 1024, ..Default::default() },
+            corpus,
+        );
+        for img in 0..6 {
+            sq.register(img).expect("register");
+        }
+        let one = sq.measure_arc_hit_rate(0, &[0], 64 << 20).expect("one image");
+        let many = sq
+            .measure_arc_hit_rate(0, &[0, 1, 2, 3, 4, 5], 64 << 20)
+            .expect("many images");
+        assert_eq!(one.hits, 0, "first boot of a lone image cannot hit");
+        assert!(
+            many.hit_rate() > 0.2,
+            "cross-VMI sharing must produce ARC hits: {:?}",
+            many
+        );
+    }
+
+    #[test]
+    fn verify_boot_serves_exact_bytes_from_warm_cache() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("register");
+        let (verified, fetches) = sq.verify_boot(1, 0).expect("verify");
+        assert!(verified > 0);
+        // The QCOW2 cluster over-fetch may cross the working-set boundary
+        // once at the tail; everything inside the set must be served warm.
+        assert!(fetches <= 2, "warm boot fetched {fetches} blocks from the base");
+    }
+
+    #[test]
+    fn verify_boot_without_cache_fetches_from_backing() {
+        let mut sq = small_system(1);
+        let (verified, fetches) = sq.verify_boot(0, 1).expect("verify");
+        assert!(verified > 0);
+        assert!(fetches > 0, "cold path must reach the base image");
+    }
+
+    #[test]
+    fn evicted_cache_forces_cold_boot_until_restored() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("register");
+        assert!(sq.has_cache(1, 0));
+        assert!(sq.evict_cache(1, 0).expect("evict"));
+        assert!(!sq.has_cache(1, 0));
+        // Node 1 now cold-boots image 0; node 0 still warm.
+        assert!(!sq.boot(1, 0).expect("boot").warm);
+        assert!(sq.boot(0, 0).expect("boot").warm);
+        // Idempotent eviction.
+        assert!(!sq.evict_cache(1, 0).expect("evict again"));
+    }
+
+    #[test]
+    fn registration_info_reflects_clock() {
+        let mut sq = small_system(1);
+        sq.advance_days(3);
+        sq.register(0).expect("register");
+        let (tag, day) = sq.registration_info(0).expect("registered");
+        assert_eq!(tag, "vmi-000000-r1");
+        assert_eq!(day, 3);
+        assert_eq!(sq.registration_info(5), None);
+    }
+
+    #[test]
+    fn registration_report_times_are_plausible() {
+        let mut sq = small_system(2);
+        let r = sq.register(0).expect("register");
+        // Paper: registration "does not take more than a minute".
+        assert!(r.seconds > 10.0 && r.seconds < 120.0, "{}", r.seconds);
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic VM image corpus modelled on the paper's Windows Azure dataset.
+//!
+//! The paper's dataset — 607 community images, 16.4 TB raw — is proprietary,
+//! so this crate builds a *statistically equivalent* corpus from scratch. The
+//! figures the paper draws from the dataset depend on a small set of content
+//! mechanisms, each of which is modelled explicitly:
+//!
+//! * **Distro skew** ([`census`]): images belong to the OS families of the
+//!   paper's Table 2 (579 Ubuntu, 17 RHEL/CentOS, ...), each family having a
+//!   handful of releases whose *boot working sets* are near-identical across
+//!   images of the same release.
+//! * **Atoms and groups** ([`atoms`]): content is composed of 512-byte atoms
+//!   drawn from shared pools (release base, family libraries, common Linux
+//!   bits, software packages) or generated uniquely per image. Identical atom
+//!   ids yield identical bytes — the source of deduplication.
+//! * **Sub-block mutation** ([`layout`]): per-image changes come in
+//!   contiguous mutated *segments*, so small blocks dodge them and large
+//!   blocks absorb them — the paper's first dedup-vs-block-size mechanism.
+//! * **Alignment** ([`layout`]): user software is laid out as packages at
+//!   image-specific positions, so shared content is misaligned between
+//!   images and only deduplicates at small block sizes — the second
+//!   mechanism.
+//! * **Compressible texture** ([`dict`]): atom bytes mix dictionary words
+//!   with incompressible filler, so LZ ratios grow with block size and land
+//!   in the paper's 2–3x gzip range.
+//!
+//! Everything is seeded and bit-reproducible; a `scale` divisor shrinks byte
+//! volumes while preserving every ratio the evaluation measures.
+
+pub mod analysis;
+pub mod atoms;
+pub mod cache;
+pub mod cdc;
+pub mod census;
+pub mod corpus;
+pub mod dict;
+pub mod layout;
+pub mod rng;
+
+pub use atoms::ATOM_SIZE;
+pub use cache::{BootTrace, CacheView, ReadOp};
+pub use census::{azure_census, ec2_census, CensusEntry, OsFamily};
+pub use corpus::{Corpus, CorpusConfig, ImageHandle, ImageId, ImageSpec};

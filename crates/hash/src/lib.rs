@@ -1,0 +1,96 @@
+//! Content hashing substrate for the Squirrel reproduction.
+//!
+//! ZFS-style deduplication is content addressed: every block is identified by
+//! a cryptographic digest of its bytes. The paper's ZFS deployment uses
+//! SHA-256 for dedup checksums, so this crate provides a from-scratch
+//! FIPS 180-4 SHA-256 ([`sha256`], [`Sha256`]) plus cheap non-cryptographic
+//! hashes ([`Fnv1a64`], [`mix64`]) for hot in-memory tables where HashDoS is
+//! not a concern (see the Rust Performance Book's hashing chapter).
+
+mod fast;
+mod sha256;
+
+pub use fast::{mix64, FnvBuildHasher, FnvHashMap, FnvHashSet, Fnv1a64};
+pub use sha256::{sha256, Sha256};
+
+/// A 256-bit content digest identifying a block's bytes.
+///
+/// This is the dedup key: two blocks with equal `ContentHash` are treated as
+/// the same block (hash collisions are assumed not to occur, as in ZFS when
+/// `dedup=sha256` without `verify`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub [u8; 32]);
+
+impl ContentHash {
+    /// Hash `data` into a `ContentHash` using SHA-256.
+    #[inline]
+    pub fn of(data: &[u8]) -> Self {
+        ContentHash(sha256(data))
+    }
+
+    /// First 128 bits of the digest, for compact in-memory table keys.
+    ///
+    /// 128 bits keep the collision probability negligible (< 2^-60 for 10^9
+    /// blocks) while halving table key size versus the full digest.
+    #[inline]
+    pub fn short(&self) -> u128 {
+        u128::from_le_bytes(self.0[..16].try_into().expect("32-byte digest"))
+    }
+
+    /// Hex rendering of the full digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContentHash({}..)", &self.to_hex()[..16])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_of_matches_sha256() {
+        assert_eq!(ContentHash::of(b"abc").0, sha256(b"abc"));
+    }
+
+    #[test]
+    fn short_is_prefix() {
+        let h = ContentHash::of(b"squirrel");
+        let bytes = h.short().to_le_bytes();
+        assert_eq!(&bytes[..], &h.0[..16]);
+    }
+
+    #[test]
+    fn hex_roundtrip_length_and_chars() {
+        let h = ContentHash::of(b"");
+        let hex = h.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(
+            hex,
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(ContentHash::of(b"a"), ContentHash::of(b"b"));
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let d = format!("{:?}", ContentHash::of(b"x"));
+        assert!(d.starts_with("ContentHash("));
+        assert!(d.len() < 40);
+    }
+}

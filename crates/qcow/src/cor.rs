@@ -1,0 +1,213 @@
+//! The copy-on-read cache layer (the paper's VMI cache, Figure 1 middle).
+
+use crate::disk::{ReadLog, VirtualDisk};
+use std::collections::HashMap;
+
+/// A block-granular copy-on-read cache over a backing layer.
+///
+/// Cold path: a miss fetches the whole containing block from the backing
+/// layer, stores it, and serves the request — after one boot the cache holds
+/// the boot working set. Warm path: hits never touch the backing layer.
+/// `prepopulate` installs a warmed cache directly (Squirrel's ccVolume case).
+pub struct CorCache<B: VirtualDisk> {
+    block_size: usize,
+    blocks: HashMap<u64, Box<[u8]>>,
+    backing: B,
+    log: Option<ReadLog>,
+    /// Bytes fetched from the backing layer since creation (the network
+    /// traffic a cold boot causes).
+    pub fetched_bytes: u64,
+    /// Number of backing fetches.
+    pub fetch_count: u64,
+}
+
+impl<B: VirtualDisk> CorCache<B> {
+    pub fn new(backing: B, block_size: usize) -> Self {
+        assert!(block_size.is_power_of_two() && block_size >= 512);
+        CorCache {
+            block_size,
+            blocks: HashMap::new(),
+            backing,
+            log: None,
+            fetched_bytes: 0,
+            fetch_count: 0,
+        }
+    }
+
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of cached blocks.
+    pub fn cached_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Cached bytes (the VMI cache size).
+    pub fn cached_bytes(&self) -> u64 {
+        (self.blocks.len() * self.block_size) as u64
+    }
+
+    /// True once `offset..offset+len` is fully cached.
+    pub fn covers(&self, offset: u64, len: u64) -> bool {
+        let bs = self.block_size as u64;
+        let first = offset / bs;
+        let last = (offset + len.max(1) - 1) / bs;
+        (first..=last).all(|b| self.blocks.contains_key(&b))
+    }
+
+    /// Install a warmed block (Squirrel's pre-replicated caches).
+    pub fn prepopulate(&mut self, block_idx: u64, data: &[u8]) {
+        assert_eq!(data.len(), self.block_size);
+        self.blocks.insert(block_idx, data.to_vec().into_boxed_slice());
+    }
+
+    /// Enable logging of backing fetches.
+    pub fn log_backing_reads(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    pub fn take_log(&mut self) -> ReadLog {
+        match self.log.take() {
+            Some(l) => {
+                self.log = Some(Vec::new());
+                l
+            }
+            None => ReadLog::default(),
+        }
+    }
+
+    pub fn backing(&mut self) -> &mut B {
+        &mut self.backing
+    }
+
+    /// Drain the cache contents (block index, data), e.g. to persist the
+    /// cache after a registration boot.
+    pub fn into_blocks(self) -> Vec<(u64, Box<[u8]>)> {
+        let mut v: Vec<_> = self.blocks.into_iter().collect();
+        v.sort_unstable_by_key(|(i, _)| *i);
+        v
+    }
+}
+
+impl<B: VirtualDisk> VirtualDisk for CorCache<B> {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) {
+        let bs = self.block_size as u64;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let abs = offset + pos as u64;
+            let block = abs / bs;
+            let within = (abs % bs) as usize;
+            let take = (self.block_size - within).min(buf.len() - pos);
+            if !self.blocks.contains_key(&block) {
+                // Miss: copy-on-read the full block.
+                let mut data = vec![0u8; self.block_size].into_boxed_slice();
+                if let Some(log) = &mut self.log {
+                    log.push((block * bs, self.block_size as u32));
+                }
+                self.backing.read_at(block * bs, &mut data);
+                self.fetched_bytes += self.block_size as u64;
+                self.fetch_count += 1;
+                self.blocks.insert(block, data);
+            }
+            let data = self.blocks.get(&block).expect("just inserted");
+            buf[pos..pos + take].copy_from_slice(&data[within..within + take]);
+            pos += take;
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.backing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn base(n: usize) -> MemDisk {
+        MemDisk::new((0..n).map(|i| (i % 251) as u8).collect())
+    }
+
+    #[test]
+    fn cold_read_populates_cache() {
+        let mut cor = CorCache::new(base(4096), 1024);
+        let mut buf = [0u8; 8];
+        cor.read_at(100, &mut buf);
+        assert_eq!(buf[0], 100);
+        assert_eq!(cor.cached_blocks(), 1);
+        assert_eq!(cor.fetched_bytes, 1024);
+    }
+
+    #[test]
+    fn warm_read_never_touches_backing() {
+        let mut cor = CorCache::new(base(4096), 1024);
+        let mut buf = [0u8; 8];
+        cor.read_at(100, &mut buf);
+        let fetched = cor.fetched_bytes;
+        cor.read_at(200, &mut buf); // same block
+        cor.read_at(108, &mut buf);
+        assert_eq!(cor.fetched_bytes, fetched, "no extra fetches");
+    }
+
+    #[test]
+    fn prepopulated_cache_is_warm() {
+        let mut inner = base(2048);
+        let mut block0 = vec![0u8; 1024];
+        inner.read_at(0, &mut block0);
+        let mut cor = CorCache::new(inner, 1024);
+        cor.prepopulate(0, &block0);
+        let mut buf = [0u8; 16];
+        cor.read_at(10, &mut buf);
+        assert_eq!(cor.fetched_bytes, 0, "prepopulated block serves locally");
+        assert_eq!(buf[0], 10);
+    }
+
+    #[test]
+    fn covers_reports_cached_ranges() {
+        let mut cor = CorCache::new(base(4096), 1024);
+        assert!(!cor.covers(0, 100));
+        let mut buf = [0u8; 1];
+        cor.read_at(0, &mut buf);
+        assert!(cor.covers(0, 1024));
+        assert!(!cor.covers(0, 1025));
+    }
+
+    #[test]
+    fn straddling_read_fetches_each_block_once() {
+        let mut cor = CorCache::new(base(8192), 1024);
+        cor.log_backing_reads();
+        let mut buf = [0u8; 2000];
+        cor.read_at(600, &mut buf);
+        let log = cor.take_log();
+        assert_eq!(log, vec![(0, 1024), (1024, 1024), (2048, 1024)]);
+        let want: Vec<u8> = (600u32..2600).map(|i| (i % 251) as u8).collect();
+        assert_eq!(buf.to_vec(), want);
+    }
+
+    #[test]
+    fn into_blocks_sorted() {
+        let mut cor = CorCache::new(base(8192), 1024);
+        let mut buf = [0u8; 1];
+        cor.read_at(5000, &mut buf);
+        cor.read_at(100, &mut buf);
+        let blocks = cor.into_blocks();
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks[0].0 < blocks[1].0);
+    }
+
+    #[test]
+    fn chain_cow_over_cor_over_base() {
+        // The full Figure-1 chain: CoW → CoR cache → base.
+        use crate::cow::CowImage;
+        let mut chain = CowImage::with_cluster_size(CorCache::new(base(16384), 1024), 1024);
+        let mut buf = [0u8; 64];
+        chain.read_at(1000, &mut buf);
+        chain.write_at(1000, &[9u8; 4]);
+        chain.read_at(1000, &mut buf);
+        assert_eq!(&buf[..4], &[9, 9, 9, 9]);
+        assert_eq!(buf[4], (1004 % 251) as u8);
+        assert!(chain.backing().cached_blocks() > 0, "cache warmed through the chain");
+    }
+}

@@ -1,0 +1,137 @@
+//! The `VirtualDisk` read interface and basic backends.
+
+/// A log of downward read requests `(offset, len)` a layer issued.
+pub type ReadLog = Vec<(u64, u32)>;
+
+/// Anything a chain layer can read from. Reads never fail: out-of-range
+/// bytes are zero (sparse semantics, matching the dataset layer).
+pub trait VirtualDisk {
+    /// Fill `buf` with bytes at `offset`.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]);
+
+    /// Virtual size in bytes.
+    fn len(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: VirtualDisk + ?Sized> VirtualDisk for Box<T> {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) {
+        (**self).read_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+}
+
+impl<T: VirtualDisk + ?Sized> VirtualDisk for &mut T {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) {
+        (**self).read_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+}
+
+/// An all-zero disk of a given size.
+#[derive(Clone, Copy, Debug)]
+pub struct ZeroDisk {
+    pub size: u64,
+}
+
+impl VirtualDisk for ZeroDisk {
+    fn read_at(&mut self, _offset: u64, buf: &mut [u8]) {
+        buf.fill(0);
+    }
+
+    fn len(&self) -> u64 {
+        self.size
+    }
+}
+
+/// An in-memory disk, optionally logging the reads it receives.
+#[derive(Clone, Debug, Default)]
+pub struct MemDisk {
+    pub data: Vec<u8>,
+    log: Option<ReadLog>,
+}
+
+impl MemDisk {
+    pub fn new(data: Vec<u8>) -> Self {
+        MemDisk { data, log: None }
+    }
+
+    /// Enable request logging (each `read_at` appends one entry).
+    pub fn logged(mut self) -> Self {
+        self.log = Some(Vec::new());
+        self
+    }
+
+    /// Drain the request log.
+    pub fn take_log(&mut self) -> ReadLog {
+        self.log.take().unwrap_or_default()
+    }
+}
+
+impl VirtualDisk for MemDisk {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) {
+        if let Some(log) = &mut self.log {
+            log.push((offset, buf.len() as u32));
+        }
+        buf.fill(0);
+        let n = self.data.len() as u64;
+        if offset >= n {
+            return;
+        }
+        let end = (offset + buf.len() as u64).min(n);
+        buf[..(end - offset) as usize].copy_from_slice(&self.data[offset as usize..end as usize]);
+    }
+
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_disk_reads_zero() {
+        let mut d = ZeroDisk { size: 100 };
+        let mut buf = vec![0xff; 8];
+        d.read_at(10, &mut buf);
+        assert_eq!(buf, vec![0; 8]);
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn mem_disk_roundtrip_and_tail_zero() {
+        let mut d = MemDisk::new(vec![1, 2, 3, 4]);
+        let mut buf = vec![0xff; 6];
+        d.read_at(2, &mut buf);
+        assert_eq!(buf, vec![3, 4, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mem_disk_logs_requests() {
+        let mut d = MemDisk::new(vec![0; 64]).logged();
+        let mut buf = [0u8; 16];
+        d.read_at(0, &mut buf);
+        d.read_at(32, &mut buf);
+        assert_eq!(d.take_log(), vec![(0, 16), (32, 16)]);
+        assert!(d.take_log().is_empty(), "log drained");
+    }
+
+    #[test]
+    fn boxed_dyn_disk_works() {
+        let mut d: Box<dyn VirtualDisk> = Box::new(MemDisk::new(vec![9; 4]));
+        let mut buf = [0u8; 2];
+        d.read_at(1, &mut buf);
+        assert_eq!(buf, [9, 9]);
+    }
+}

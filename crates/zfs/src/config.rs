@@ -1,0 +1,81 @@
+//! Pool configuration: block size, codec, and accounting constants.
+
+use squirrel_compress::Codec;
+
+/// Configuration of a [`crate::ZPool`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Fixed record size (ZFS `recordsize`); the dedup/compression unit.
+    pub block_size: usize,
+    /// Inline compression routine (ZFS `compression=`).
+    pub codec: Codec,
+    /// Keep block payloads in memory so files can be read back. Accounting
+    /// sweeps that only need [`crate::SpaceStats`] turn this off to bound
+    /// memory.
+    pub retain_data: bool,
+    /// In-core bytes per dedup-table entry (ZFS DDT entries cost a few
+    /// hundred bytes each in ARC; the exact figure depends on the build).
+    pub ddt_mem_entry_bytes: u64,
+    /// On-disk bytes per dedup-table entry (the ZAP leaf footprint).
+    pub ddt_disk_entry_bytes: u64,
+    /// On-disk metadata bytes per file block pointer (amortized indirect
+    /// blocks; ZFS blkptr_t is 128 B but metadata is itself compressed).
+    pub bp_disk_bytes: u64,
+}
+
+impl PoolConfig {
+    /// The paper's production choice: 64 KiB records, gzip-6, dedup on.
+    pub fn paper_default() -> Self {
+        PoolConfig::new(64 * 1024, Codec::Gzip(6))
+    }
+
+    /// A pool with the given record size and codec and default accounting
+    /// constants.
+    pub fn new(block_size: usize, codec: Codec) -> Self {
+        assert!(block_size >= 512 && block_size.is_power_of_two(), "record size");
+        PoolConfig {
+            block_size,
+            codec,
+            retain_data: true,
+            ddt_mem_entry_bytes: 120,
+            ddt_disk_entry_bytes: 108,
+            bp_disk_bytes: 40,
+        }
+    }
+
+    /// Accounting-only variant (no payload retention).
+    pub fn accounting_only(mut self) -> Self {
+        self.retain_data = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_64k_gzip6() {
+        let c = PoolConfig::paper_default();
+        assert_eq!(c.block_size, 65536);
+        assert_eq!(c.codec, Codec::Gzip(6));
+        assert!(c.retain_data);
+    }
+
+    #[test]
+    #[should_panic(expected = "record size")]
+    fn rejects_non_power_of_two() {
+        PoolConfig::new(3000, Codec::Off);
+    }
+
+    #[test]
+    #[should_panic(expected = "record size")]
+    fn rejects_tiny_block() {
+        PoolConfig::new(256, Codec::Off);
+    }
+
+    #[test]
+    fn accounting_only_disables_retention() {
+        assert!(!PoolConfig::paper_default().accounting_only().retain_data);
+    }
+}

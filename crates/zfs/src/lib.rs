@@ -1,0 +1,36 @@
+//! A ZFS-like block store: inline deduplication + compression, snapshots,
+//! and incremental send/recv — the storage engine Squirrel's cVolumes run on.
+//!
+//! The paper uses ZFS as an off-the-shelf mechanism; every quantity its
+//! evaluation measures is an accounting property of a dedup+compress block
+//! store, which this crate implements from scratch:
+//!
+//! * **Content addressing** — fixed-size blocks keyed by SHA-256 (like
+//!   `dedup=sha256`), with a refcounted dedup table ([`ddt`]).
+//! * **Inline compression** — every unique block is stored compressed with a
+//!   configurable codec (gzip-6 by default, like the paper's choice).
+//! * **Space accounting** ([`stats`]) — physical data, on-disk DDT, in-core
+//!   DDT, and block-pointer metadata, the inputs to Figures 8–10 and 13.
+//! * **Snapshots & incremental send** ([`send`]) — cheap read-only snapshots
+//!   of the whole pool's file set and `zfs send -i`-style diff streams, the
+//!   propagation mechanism of Squirrel's registration workflow (Section 3).
+//! * **Physical layout** — unique blocks are allocated sequentially in
+//!   arrival order, so logically adjacent blocks of a deduplicated file end
+//!   up scattered; the boot simulator reads this layout to reproduce the
+//!   paper's Figure 11 seek behaviour.
+
+pub mod arc;
+pub mod config;
+pub mod ddt;
+pub mod pool;
+pub mod scrub;
+pub mod send;
+pub mod stats;
+
+pub use arc::{ArcCache, ArcStats};
+pub use config::PoolConfig;
+pub use ddt::{DdtEntry, DedupTable};
+pub use pool::{BlockRef, ZPool};
+pub use scrub::ScrubReport;
+pub use send::{DecodeError, RecvError, SendStream};
+pub use stats::SpaceStats;

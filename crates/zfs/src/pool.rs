@@ -1,0 +1,571 @@
+//! The pool: files of fixed-size deduplicated, compressed blocks, plus
+//! whole-pool snapshots.
+//!
+//! Model notes versus real ZFS: a pool holds one dataset whose files are the
+//! VMI caches; snapshots capture the entire file set (Squirrel snapshots the
+//! whole cVolume); blocks are fixed `recordsize` units; zero blocks become
+//! holes. Reference counting is exact: one reference per live file pointer
+//! plus one per snapshot pointer, so destroying snapshots frees exactly the
+//! blocks nothing else uses.
+
+use crate::config::PoolConfig;
+use crate::ddt::{BlockKey, DedupTable};
+use crate::stats::SpaceStats;
+use squirrel_compress::{compress, decompress};
+use squirrel_hash::ContentHash;
+use std::collections::BTreeMap;
+
+/// A resolved block pointer: where a file block lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRef {
+    pub key: BlockKey,
+    /// Physical byte offset of the compressed record.
+    pub phys: u64,
+    /// Compressed size.
+    pub psize: u32,
+}
+
+/// Per-file block-pointer table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct FileTable {
+    /// `None` = hole (zero block).
+    pub(crate) ptrs: Vec<Option<BlockKey>>,
+    /// Logical file length in bytes.
+    pub(crate) len: u64,
+}
+
+/// A whole-pool snapshot: the file set at a point in time.
+#[derive(Clone, Debug)]
+pub(crate) struct Snapshot {
+    pub(crate) tag: String,
+    pub(crate) files: BTreeMap<String, FileTable>,
+}
+
+/// The deduplicating, compressing, snapshotting block store.
+pub struct ZPool {
+    config: PoolConfig,
+    ddt: DedupTable,
+    files: BTreeMap<String, FileTable>,
+    /// Snapshots in creation order.
+    snapshots: Vec<Snapshot>,
+}
+
+impl ZPool {
+    pub fn new(config: PoolConfig) -> Self {
+        ZPool { config, ddt: DedupTable::new(), files: BTreeMap::new(), snapshots: Vec::new() }
+    }
+
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    pub fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+
+    // --- files -------------------------------------------------------------
+
+    /// Create an empty file; replaces any existing file of the same name.
+    pub fn create_file(&mut self, name: &str) {
+        self.delete_file(name);
+        self.files.insert(name.to_string(), FileTable::default());
+    }
+
+    pub fn has_file(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    pub fn file_names(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(|s| s.as_str())
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Logical length of `name` in bytes.
+    pub fn file_len(&self, name: &str) -> Option<u64> {
+        self.files.get(name).map(|f| f.len)
+    }
+
+    /// Delete a file from the live dataset (snapshots keep referencing its
+    /// blocks until destroyed).
+    pub fn delete_file(&mut self, name: &str) {
+        if let Some(table) = self.files.remove(name) {
+            for key in table.ptrs.into_iter().flatten() {
+                self.ddt.release(&key);
+            }
+        }
+    }
+
+    /// Write one aligned block. `data` must be exactly `block_size` bytes
+    /// (callers zero-pad tails, as the dataset layer does). All-zero data
+    /// punches a hole.
+    pub fn write_block(&mut self, name: &str, block_idx: u64, data: &[u8]) {
+        assert_eq!(data.len(), self.config.block_size, "unaligned write");
+        let is_zero = data.iter().all(|&b| b == 0);
+        let new_key = if is_zero {
+            None
+        } else {
+            let key = ContentHash::of(data).short();
+            let codec = self.config.codec;
+            let retain = self.config.retain_data;
+            self.ddt.add_ref(key, || {
+                let frame = compress(codec, data);
+                let psize = frame.len() as u32;
+                (psize, retain.then(|| frame.into_boxed_slice()))
+            });
+            Some(key)
+        };
+        let table = self.files.get_mut(name).expect("write to unknown file");
+        if table.ptrs.len() <= block_idx as usize {
+            table.ptrs.resize(block_idx as usize + 1, None);
+        }
+        let old = std::mem::replace(&mut table.ptrs[block_idx as usize], new_key);
+        table.len = table.len.max((block_idx + 1) * self.config.block_size as u64);
+        if let Some(old_key) = old {
+            self.ddt.release(&old_key);
+        }
+    }
+
+    /// Read one block (zeros for holes and unwritten space). `None` if the
+    /// file does not exist.
+    pub fn read_block(&self, name: &str, block_idx: u64) -> Option<Vec<u8>> {
+        let table = self.files.get(name)?;
+        let bs = self.config.block_size;
+        match table.ptrs.get(block_idx as usize).copied().flatten() {
+            None => Some(vec![0u8; bs]),
+            Some(key) => {
+                let entry = self.ddt.get(&key).expect("dangling block pointer");
+                let frame = entry.data.as_ref().expect("read from accounting-only pool");
+                Some(decompress(frame, bs))
+            }
+        }
+    }
+
+    /// Import a whole file from an iterator of `block_size` blocks.
+    pub fn import_file(
+        &mut self,
+        name: &str,
+        blocks: impl Iterator<Item = Vec<u8>>,
+        logical_len: u64,
+    ) {
+        self.create_file(name);
+        for (i, block) in blocks.enumerate() {
+            self.write_block(name, i as u64, &block);
+        }
+        if let Some(table) = self.files.get_mut(name) {
+            table.len = logical_len;
+        }
+    }
+
+    /// Resolved block pointers of `name` (for physical-layout analysis);
+    /// `None` entries are holes.
+    pub fn block_refs(&self, name: &str) -> Option<Vec<Option<BlockRef>>> {
+        let table = self.files.get(name)?;
+        Some(
+            table
+                .ptrs
+                .iter()
+                .map(|p| {
+                    p.map(|key| {
+                        let e = self.ddt.get(&key).expect("dangling block pointer");
+                        BlockRef { key, phys: e.phys, psize: e.psize }
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    // --- snapshots ----------------------------------------------------------
+
+    /// Create a read-only snapshot of the whole file set.
+    pub fn snapshot(&mut self, tag: &str) {
+        assert!(
+            !self.snapshots.iter().any(|s| s.tag == tag),
+            "duplicate snapshot tag {tag}"
+        );
+        for table in self.files.values() {
+            for key in table.ptrs.iter().flatten() {
+                self.ddt.add_ref(*key, || unreachable!("snapshot references live block"));
+            }
+        }
+        self.snapshots.push(Snapshot { tag: tag.to_string(), files: self.files.clone() });
+    }
+
+    /// Destroy a snapshot, freeing blocks nothing else references.
+    pub fn destroy_snapshot(&mut self, tag: &str) -> bool {
+        let Some(i) = self.snapshots.iter().position(|s| s.tag == tag) else {
+            return false;
+        };
+        let snap = self.snapshots.remove(i);
+        for table in snap.files.values() {
+            for key in table.ptrs.iter().flatten() {
+                self.ddt.release(key);
+            }
+        }
+        true
+    }
+
+    /// Snapshot tags, oldest first.
+    pub fn snapshot_tags(&self) -> Vec<&str> {
+        self.snapshots.iter().map(|s| s.tag.as_str()).collect()
+    }
+
+    pub fn latest_snapshot(&self) -> Option<&str> {
+        self.snapshots.last().map(|s| s.tag.as_str())
+    }
+
+    /// File names captured by snapshot `tag`.
+    pub fn snapshot_file_names(&self, tag: &str) -> Option<Vec<&str>> {
+        self.find_snapshot(tag)
+            .map(|s| s.files.keys().map(|k| k.as_str()).collect())
+    }
+
+    pub fn has_snapshot(&self, tag: &str) -> bool {
+        self.snapshots.iter().any(|s| s.tag == tag)
+    }
+
+    pub(crate) fn find_snapshot(&self, tag: &str) -> Option<&Snapshot> {
+        self.snapshots.iter().find(|s| s.tag == tag)
+    }
+
+    pub(crate) fn files(&self) -> &BTreeMap<String, FileTable> {
+        &self.files
+    }
+
+    pub(crate) fn files_mut(&mut self) -> &mut BTreeMap<String, FileTable> {
+        &mut self.files
+    }
+
+    pub(crate) fn ddt(&self) -> &DedupTable {
+        &self.ddt
+    }
+
+    pub(crate) fn ddt_mut(&mut self) -> &mut DedupTable {
+        &mut self.ddt
+    }
+
+    pub(crate) fn ddt_mut_entry(&mut self, key: BlockKey) -> Option<&mut crate::ddt::DdtEntry> {
+        self.ddt.get_mut(&key)
+    }
+
+    pub(crate) fn push_snapshot(&mut self, snap: Snapshot) {
+        self.snapshots.push(snap);
+    }
+
+    // --- accounting ----------------------------------------------------------
+
+    /// Current space accounting.
+    pub fn stats(&self) -> SpaceStats {
+        let logical_bytes: u64 = self.files.values().map(|f| f.len).sum();
+        let live_ptrs: u64 = self.files.values().map(|f| f.ptrs.len() as u64).sum();
+        let snap_ptrs: u64 = self
+            .snapshots
+            .iter()
+            .flat_map(|s| s.files.values())
+            .map(|f| f.ptrs.len() as u64)
+            .sum();
+        let unique_blocks = self.ddt.len() as u64;
+        SpaceStats {
+            block_size: self.config.block_size as u64,
+            logical_bytes,
+            unique_blocks,
+            physical_bytes: self.ddt.physical_bytes(),
+            ddt_disk_bytes: unique_blocks * self.config.ddt_disk_entry_bytes,
+            ddt_memory_bytes: unique_blocks * self.config.ddt_mem_entry_bytes,
+            bp_disk_bytes: (live_ptrs + snap_ptrs) * self.config.bp_disk_bytes,
+        }
+    }
+
+    /// Fraction of `name`'s nonzero blocks whose DDT refcount exceeds
+    /// `threshold` — with `threshold` set to the number of references a
+    /// lone file would hold (1 + live snapshots), this measures how much of
+    /// the file is deduplicated against *other* content, the input to the
+    /// boot simulator's scattering model.
+    pub fn file_shared_fraction(&self, name: &str, threshold: u64) -> Option<f64> {
+        let table = self.files.get(name)?;
+        let mut total = 0u64;
+        let mut shared = 0u64;
+        for key in table.ptrs.iter().flatten() {
+            total += 1;
+            if self.ddt.get(key).map(|e| e.refcount).unwrap_or(0) > threshold {
+                shared += 1;
+            }
+        }
+        Some(if total == 0 { 0.0 } else { shared as f64 / total as f64 })
+    }
+
+    /// Invariant check used by tests: every refcount equals the number of
+    /// live + snapshot pointers to that block.
+    pub fn check_refcounts(&self) -> bool {
+        let mut counts: std::collections::HashMap<BlockKey, u64> = std::collections::HashMap::new();
+        for table in self.files.values() {
+            for key in table.ptrs.iter().flatten() {
+                *counts.entry(*key).or_insert(0) += 1;
+            }
+        }
+        for snap in &self.snapshots {
+            for table in snap.files.values() {
+                for key in table.ptrs.iter().flatten() {
+                    *counts.entry(*key).or_insert(0) += 1;
+                }
+            }
+        }
+        if counts.len() != self.ddt.len() {
+            return false;
+        }
+        counts.iter().all(|(k, &c)| self.ddt.get(k).map(|e| e.refcount) == Some(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squirrel_compress::Codec;
+
+    fn pool(bs: usize) -> ZPool {
+        ZPool::new(PoolConfig::new(bs, Codec::Lzjb))
+    }
+
+    fn block(bs: usize, fill: u8) -> Vec<u8> {
+        vec![fill; bs]
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut p = pool(1024);
+        p.create_file("a");
+        let data: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        p.write_block("a", 0, &data);
+        assert_eq!(p.read_block("a", 0).expect("file"), data);
+    }
+
+    #[test]
+    fn holes_read_as_zeros() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.write_block("a", 3, &block(512, 9));
+        assert_eq!(p.read_block("a", 0).expect("file"), block(512, 0));
+        assert_eq!(p.read_block("a", 100).expect("file"), block(512, 0));
+    }
+
+    #[test]
+    fn zero_blocks_punch_holes_and_cost_nothing() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.write_block("a", 0, &block(512, 0));
+        assert_eq!(p.stats().unique_blocks, 0);
+        assert_eq!(p.stats().physical_bytes, 0);
+    }
+
+    #[test]
+    fn identical_blocks_dedup_across_files() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.create_file("b");
+        p.write_block("a", 0, &block(512, 7));
+        p.write_block("b", 0, &block(512, 7));
+        p.write_block("b", 1, &block(512, 8));
+        let s = p.stats();
+        assert_eq!(s.unique_blocks, 2);
+        assert!(p.check_refcounts());
+    }
+
+    #[test]
+    fn overwrite_releases_old_block() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.write_block("a", 0, &block(512, 1));
+        p.write_block("a", 0, &block(512, 2));
+        assert_eq!(p.stats().unique_blocks, 1);
+        assert_eq!(p.read_block("a", 0).expect("file"), block(512, 2));
+        assert!(p.check_refcounts());
+    }
+
+    #[test]
+    fn delete_file_frees_unshared_blocks() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.create_file("b");
+        p.write_block("a", 0, &block(512, 1));
+        p.write_block("b", 0, &block(512, 1));
+        p.write_block("b", 1, &block(512, 2));
+        p.delete_file("b");
+        let s = p.stats();
+        assert_eq!(s.unique_blocks, 1, "shared block survives, private freed");
+        assert!(p.check_refcounts());
+    }
+
+    #[test]
+    fn snapshot_preserves_deleted_file_blocks() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.write_block("a", 0, &block(512, 5));
+        p.snapshot("s1");
+        p.delete_file("a");
+        assert_eq!(p.stats().unique_blocks, 1, "snapshot holds the block");
+        p.destroy_snapshot("s1");
+        assert_eq!(p.stats().unique_blocks, 0);
+        assert!(p.check_refcounts());
+    }
+
+    #[test]
+    fn snapshot_tags_ordered_and_unique() {
+        let mut p = pool(512);
+        p.snapshot("one");
+        p.snapshot("two");
+        assert_eq!(p.snapshot_tags(), vec!["one", "two"]);
+        assert_eq!(p.latest_snapshot(), Some("two"));
+        assert!(p.has_snapshot("one"));
+        assert!(!p.destroy_snapshot("absent"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate snapshot tag")]
+    fn duplicate_snapshot_panics() {
+        let mut p = pool(512);
+        p.snapshot("x");
+        p.snapshot("x");
+    }
+
+    #[test]
+    fn import_file_sets_logical_len() {
+        let mut p = pool(512);
+        let blocks = vec![block(512, 1), block(512, 2)];
+        p.import_file("img", blocks.into_iter(), 900);
+        assert_eq!(p.file_len("img"), Some(900));
+        assert_eq!(p.read_block("img", 1).expect("file"), block(512, 2));
+    }
+
+    #[test]
+    fn block_refs_expose_physical_layout() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.write_block("a", 0, &block(512, 1));
+        p.write_block("a", 1, &block(512, 0)); // hole
+        p.write_block("a", 2, &block(512, 2));
+        let refs = p.block_refs("a").expect("file");
+        assert_eq!(refs.len(), 3);
+        assert!(refs[0].is_some());
+        assert!(refs[1].is_none());
+        let (r0, r2) = (refs[0].expect("ref"), refs[2].expect("ref"));
+        assert!(r2.phys >= r0.phys + r0.psize as u64, "arrival-order allocation");
+    }
+
+    #[test]
+    fn compression_shrinks_physical() {
+        let mut p = ZPool::new(PoolConfig::new(4096, Codec::Gzip(6)));
+        p.create_file("a");
+        let compressible: Vec<u8> = b"abcdefgh".iter().copied().cycle().take(4096).collect();
+        p.write_block("a", 0, &compressible);
+        let s = p.stats();
+        assert!(s.physical_bytes < 2048, "{}", s.physical_bytes);
+    }
+
+    #[test]
+    fn accounting_only_pool_tracks_sizes_without_data() {
+        let mut p = ZPool::new(PoolConfig::new(512, Codec::Lzjb).accounting_only());
+        p.create_file("a");
+        p.write_block("a", 0, &block(512, 3));
+        assert!(p.stats().physical_bytes > 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.read_block("a", 0)));
+        assert!(r.is_err(), "reading an accounting-only pool must panic");
+    }
+
+    #[test]
+    fn create_file_replaces_existing() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.write_block("a", 0, &block(512, 1));
+        p.create_file("a");
+        assert_eq!(p.file_len("a"), Some(0));
+        assert_eq!(p.stats().unique_blocks, 0);
+    }
+
+    #[test]
+    fn stats_bp_overhead_counts_live_and_snapshot_pointers() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.write_block("a", 0, &block(512, 1));
+        let before = p.stats().bp_disk_bytes;
+        p.snapshot("s");
+        let after = p.stats().bp_disk_bytes;
+        assert_eq!(after, before * 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use squirrel_compress::Codec;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Write { file: u8, idx: u8, fill: u8 },
+        Delete { file: u8 },
+        Snapshot,
+        DestroyOldestSnapshot,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..3, 0u8..8, any::<u8>()).prop_map(|(file, idx, fill)| Op::Write { file, idx, fill }),
+            (0u8..3).prop_map(|file| Op::Delete { file }),
+            Just(Op::Snapshot),
+            Just(Op::DestroyOldestSnapshot),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn refcounts_always_consistent(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let mut p = ZPool::new(PoolConfig::new(512, Codec::Lzjb));
+            let mut snap_seq = 0u32;
+            for f in 0..3 {
+                p.create_file(&format!("f{f}"));
+            }
+            for op in ops {
+                match op {
+                    Op::Write { file, idx, fill } => {
+                        p.write_block(&format!("f{file}"), idx as u64, &vec![fill; 512]);
+                    }
+                    Op::Delete { file } => {
+                        let name = format!("f{file}");
+                        p.delete_file(&name);
+                        p.create_file(&name);
+                    }
+                    Op::Snapshot => {
+                        p.snapshot(&format!("s{snap_seq}"));
+                        snap_seq += 1;
+                    }
+                    Op::DestroyOldestSnapshot => {
+                        if let Some(tag) = p.snapshot_tags().first().map(|s| s.to_string()) {
+                            p.destroy_snapshot(&tag);
+                        }
+                    }
+                }
+                prop_assert!(p.check_refcounts());
+            }
+        }
+
+        #[test]
+        fn read_back_matches_last_write(
+            writes in proptest::collection::vec((0u8..6, any::<u8>()), 1..40)
+        ) {
+            let mut p = ZPool::new(PoolConfig::new(512, Codec::Lz4));
+            p.create_file("f");
+            let mut model: std::collections::HashMap<u8, u8> = Default::default();
+            for (idx, fill) in writes {
+                p.write_block("f", idx as u64, &vec![fill; 512]);
+                model.insert(idx, fill);
+            }
+            for (idx, fill) in model {
+                prop_assert_eq!(p.read_block("f", idx as u64).expect("file"), vec![fill; 512]);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Space accounting: the numbers the paper's Figures 8–10 and 13 plot.
+
+/// A pool's space breakdown at one instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpaceStats {
+    /// Record size the pool runs at.
+    pub block_size: u64,
+    /// Sum of logical file lengths.
+    pub logical_bytes: u64,
+    /// Unique (deduplicated) blocks — the DDT entry count.
+    pub unique_blocks: u64,
+    /// Compressed bytes of all unique blocks.
+    pub physical_bytes: u64,
+    /// On-disk dedup table footprint (Figure 9).
+    pub ddt_disk_bytes: u64,
+    /// In-core dedup table footprint (Figure 10).
+    pub ddt_memory_bytes: u64,
+    /// Block-pointer / indirect metadata on disk.
+    pub bp_disk_bytes: u64,
+}
+
+impl SpaceStats {
+    /// Total disk consumption: data + dedup table + pointer metadata
+    /// (Figure 8's y-axis).
+    pub fn total_disk_bytes(&self) -> u64 {
+        self.physical_bytes + self.ddt_disk_bytes + self.bp_disk_bytes
+    }
+
+    /// Effective combined ratio achieved by the pool (logical over total).
+    pub fn effective_ratio(&self) -> f64 {
+        self.logical_bytes as f64 / self.total_disk_bytes().max(1) as f64
+    }
+}
+
+/// Pretty byte counts for experiment output.
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SpaceStats {
+        SpaceStats {
+            block_size: 65536,
+            logical_bytes: 1_000_000,
+            unique_blocks: 10,
+            physical_bytes: 300_000,
+            ddt_disk_bytes: 1_080,
+            ddt_memory_bytes: 1_200,
+            bp_disk_bytes: 640,
+        }
+    }
+
+    #[test]
+    fn total_disk_sums_components() {
+        assert_eq!(stats().total_disk_bytes(), 300_000 + 1_080 + 640);
+    }
+
+    #[test]
+    fn effective_ratio_is_logical_over_disk() {
+        let s = stats();
+        let want = 1_000_000.0 / (301_720.0);
+        assert!((s.effective_ratio() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert_eq!(human_bytes(10 * 1024 * 1024 * 1024), "10.00 GiB");
+    }
+}

@@ -1,0 +1,15 @@
+//! Workspace facade crate for the Squirrel reproduction.
+//!
+//! Re-exports every subsystem so the runnable `examples/` and cross-crate
+//! integration `tests/` can use one import root. Library users should depend
+//! on the individual crates (`squirrel-core` and friends) directly.
+
+pub use squirrel_bootsim as bootsim;
+pub use squirrel_cluster as cluster;
+pub use squirrel_compress as compress;
+pub use squirrel_core as core;
+pub use squirrel_curvefit as curvefit;
+pub use squirrel_dataset as dataset;
+pub use squirrel_hash as hash;
+pub use squirrel_qcow as qcow;
+pub use squirrel_zfs as zfs;

@@ -1,0 +1,120 @@
+//! Property-based integration tests: random operation sequences against the
+//! whole Squirrel system must preserve its replication and accounting
+//! invariants.
+
+use proptest::prelude::*;
+use squirrel_repro::core::{Squirrel, SquirrelConfig, SquirrelError};
+use squirrel_repro::dataset::{Corpus, CorpusConfig};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(u32),
+    Deregister(u32),
+    Boot { node: u32, image: u32 },
+    Offline(u32),
+    Rejoin(u32),
+    AdvanceDays(u64),
+    Gc,
+}
+
+fn op_strategy(images: u32, nodes: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..images).prop_map(Op::Register),
+        1 => (0..images).prop_map(Op::Deregister),
+        2 => (0..nodes, 0..images).prop_map(|(node, image)| Op::Boot { node, image }),
+        1 => (0..nodes).prop_map(Op::Offline),
+        1 => (0..nodes).prop_map(Op::Rejoin),
+        1 => (1u64..12).prop_map(Op::AdvanceDays),
+        1 => Just(Op::Gc),
+    ]
+}
+
+const IMAGES: u32 = 8;
+const NODES: u32 = 3;
+
+fn fresh_system() -> Squirrel {
+    // One shared corpus per test process would be faster, but a fresh one
+    // keeps cases independent; the test scale keeps this cheap.
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        n_images: IMAGES,
+        scale: 8192,
+        ..CorpusConfig::azure(8192, 1234)
+    }));
+    Squirrel::new(
+        SquirrelConfig {
+            compute_nodes: NODES,
+            block_size: 16 * 1024,
+            gc_window_days: 5,
+            ..Default::default()
+        },
+        corpus,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any op sequence, rejoining every node must restore full
+    /// replication, and operations must never violate their contracts.
+    #[test]
+    fn replication_restored_after_any_history(
+        ops in proptest::collection::vec(op_strategy(IMAGES, NODES), 1..30)
+    ) {
+        let mut sq = fresh_system();
+        for op in ops {
+            match op {
+                Op::Register(i) => match sq.register(i) {
+                    Ok(r) => prop_assert!(r.cache_bytes > 0),
+                    Err(SquirrelError::AlreadyRegistered(_)) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("register: {e}"))),
+                },
+                Op::Deregister(i) => match sq.deregister(i) {
+                    Ok(()) | Err(SquirrelError::NotRegistered(_)) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("deregister: {e}"))),
+                },
+                Op::Boot { node, image } => match sq.boot(node, image) {
+                    Ok(out) => {
+                        // A warm boot never touches the network.
+                        if out.warm {
+                            prop_assert_eq!(out.net_bytes, 0);
+                        }
+                        prop_assert!(out.report.total_seconds > 0.0);
+                    }
+                    Err(SquirrelError::NodeOffline(_)) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("boot: {e}"))),
+                },
+                Op::Offline(n) => {
+                    sq.node_offline(n).expect("valid node");
+                }
+                Op::Rejoin(n) => {
+                    sq.node_rejoin(n).expect("rejoin never fails for valid nodes");
+                }
+                Op::AdvanceDays(d) => sq.advance_days(d),
+                Op::Gc => sq.gc(),
+            }
+        }
+        // Bring everyone back: full consistency must be reachable.
+        for n in 0..NODES {
+            sq.node_rejoin(n).expect("final rejoin");
+        }
+        prop_assert!(sq.check_replication(), "replication must be restorable");
+    }
+
+    /// Registered images always warm-boot on online, in-sync nodes.
+    #[test]
+    fn registered_images_boot_warm(
+        regs in proptest::collection::btree_set(0u32..IMAGES, 1..5),
+        node in 0u32..NODES,
+    ) {
+        let mut sq = fresh_system();
+        for &i in &regs {
+            sq.register(i).expect("register");
+        }
+        for &i in &regs {
+            let out = sq.boot(node, i).expect("boot");
+            prop_assert!(out.warm, "image {i} should be hoarded");
+            prop_assert_eq!(out.net_bytes, 0);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. No network access required — every
+# dependency is in-tree (see the std-only policy in README.md / vendor/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy =="
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "ci.sh: all checks passed"

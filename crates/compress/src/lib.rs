@@ -245,7 +245,7 @@ mod tests {
             .collect();
         let mut data = Vec::new();
         while data.len() < 32768 {
-            data.extend_from_slice(&words[rng.random_range(0..64)]);
+            data.extend_from_slice(&words[rng.random_range(0..64usize)]);
         }
         let g6 = compressed_len(Codec::Gzip(6), &data);
         let g9 = compressed_len(Codec::Gzip(9), &data);
@@ -261,7 +261,7 @@ mod tests {
             .map(|_| (0..64).map(|_| rng.random::<u8>() & 0x3f).collect())
             .collect();
         let data: Vec<u8> = (0..131072 / 64)
-            .flat_map(|_| motifs[rng.random_range(0..256)].clone())
+            .flat_map(|_| motifs[rng.random_range(0..256usize)].clone())
             .collect();
         let ratio = |bs: usize| {
             let mut orig = 0usize;

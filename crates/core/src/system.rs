@@ -23,6 +23,10 @@ pub struct SquirrelConfig {
     pub link: LinkKind,
     pub compute_nodes: u32,
     pub storage_nodes: u32,
+    /// Worker threads for cache ingestion and multicast application
+    /// (`0` = all available cores). Purely a throughput knob: results are
+    /// bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for SquirrelConfig {
@@ -34,6 +38,7 @@ impl Default for SquirrelConfig {
             link: LinkKind::GbE,
             compute_nodes: 64,
             storage_nodes: 4,
+            threads: 0,
         }
     }
 }
@@ -155,7 +160,8 @@ impl Squirrel {
         let bricks: Vec<NodeId> =
             (config.compute_nodes..config.compute_nodes + 4).collect();
         let gluster = GlusterVolume::new(GlusterConfig::default(), bricks);
-        let pool_cfg = PoolConfig::new(config.block_size, config.codec);
+        let pool_cfg =
+            PoolConfig::new(config.block_size, config.codec).with_threads(config.threads);
         let nodes = (0..config.compute_nodes)
             .map(|_| ComputeNode { ccvol: ZPool::new(pool_cfg), online: true })
             .collect();
@@ -226,13 +232,13 @@ impl Squirrel {
         }
         let cache_bytes = cor.cached_bytes();
 
-        // 2. Move the cache from memory into the scVolume.
+        // 2. Move the cache from memory into the scVolume through the
+        //    staged pipeline: hashing and compression fan out over workers,
+        //    the dedup/file-table commit stays serial and in block order,
+        //    so the pool state matches a write_block replay exactly.
         let name = Self::cache_file_name(image);
         let blocks = cor.into_blocks();
-        self.scvol.create_file(&name);
-        for (idx, data) in &blocks {
-            self.scvol.write_block(&name, *idx, data);
-        }
+        self.scvol.import_blocks_parallel(&name, &blocks);
 
         // 3. Snapshot the scVolume for this registration.
         self.reg_seq += 1;
@@ -251,9 +257,17 @@ impl Squirrel {
             let src = self.config.compute_nodes; // first storage node
             transfer_secs = self.net.multicast(src, &online, wire);
         }
+        // One prepared stream, N independent receivers: apply it to every
+        // online ccVolume concurrently instead of N serial recv replays.
+        let targets: Vec<&mut ZPool> = self
+            .nodes
+            .iter_mut()
+            .filter(|n| n.online)
+            .map(|n| &mut n.ccvol)
+            .collect();
         let mut updated = 0;
-        for &n in &online {
-            match self.nodes[n as usize].ccvol.recv(&stream) {
+        for result in stream.apply_all(targets, self.config.threads) {
+            match result {
                 Ok(()) => updated += 1,
                 Err(RecvError::MissingBase(_)) => {
                     // Shouldn't happen for online nodes; they sync on rejoin.
@@ -435,9 +449,12 @@ impl Squirrel {
                     .expect("both snapshots exist");
                 let wire = stream.wire_bytes();
                 self.net.unicast(storage, node, wire);
-                self.nodes[idx]
-                    .ccvol
-                    .recv(&stream)
+                // Same application path as the registration multicast,
+                // with a single catch-up target.
+                stream
+                    .apply_all(vec![&mut self.nodes[idx].ccvol], self.config.threads)
+                    .pop()
+                    .expect("one target")
                     .expect("base verified present");
                 return Ok(RejoinOutcome::Incremental { wire_bytes: wire });
             }
@@ -450,8 +467,15 @@ impl Squirrel {
             .expect("latest snapshot exists");
         let wire = stream.wire_bytes();
         self.net.unicast(storage, node, wire);
-        let mut fresh = ZPool::new(PoolConfig::new(self.config.block_size, self.config.codec));
-        fresh.recv(&stream).expect("full stream");
+        let mut fresh = ZPool::new(
+            PoolConfig::new(self.config.block_size, self.config.codec)
+                .with_threads(self.config.threads),
+        );
+        stream
+            .apply_all(vec![&mut fresh], self.config.threads)
+            .pop()
+            .expect("one target")
+            .expect("full stream");
         self.nodes[idx].ccvol = fresh;
         Ok(RejoinOutcome::FullReplication { wire_bytes: wire })
     }
@@ -662,6 +686,32 @@ mod tests {
         assert!(sq.check_replication());
         for n in 0..4 {
             assert_eq!(sq.ccvol_file_count(n), Some(1));
+        }
+    }
+
+    #[test]
+    fn register_is_identical_at_any_thread_count() {
+        let run = |threads: usize| {
+            let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+            let mut sq = Squirrel::new(
+                SquirrelConfig {
+                    compute_nodes: 4,
+                    block_size: 16 * 1024,
+                    threads,
+                    ..Default::default()
+                },
+                corpus,
+            );
+            let r0 = sq.register(0).expect("r0");
+            let r1 = sq.register(1).expect("r1");
+            assert!(sq.check_replication(), "threads={threads}");
+            assert_eq!(r0.nodes_updated, 4);
+            assert_eq!(r1.nodes_updated, 4);
+            (sq.scvol_stats(), sq.ccvol_stats(0).expect("node"), r0.diff_wire_bytes)
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
         }
     }
 

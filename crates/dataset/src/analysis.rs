@@ -3,14 +3,14 @@
 //!
 //! These sweeps are the hot path of Figures 2–4 and 12: every nonzero block
 //! of every image is hashed (and unique blocks compressed). Work fans out
-//! across images with `crossbeam::scope` worker threads, then per-worker
-//! partial maps merge into one; per the perf book, hot maps use FNV keyed by
-//! 128-bit digest prefixes.
+//! across images on std scoped worker threads (`squirrel_hash::par`), then
+//! per-worker partial maps merge into one; per the perf book, hot maps use
+//! FNV keyed by 128-bit digest prefixes.
 
 use crate::cache::CacheView;
 use crate::corpus::{Corpus, ImageHandle};
 use squirrel_compress::{compressed_len, Codec};
-use squirrel_hash::{ContentHash, FnvHashMap};
+use squirrel_hash::{par, ContentHash, FnvHashMap};
 
 /// Which content set to analyze: full images or their VMI caches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,24 +115,14 @@ pub fn sweep(
     sampling: CompressionSampling,
     threads: usize,
 ) -> SweepStats {
-    let n_workers = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        threads
-    }
-    .min(corpus.len().max(1));
+    let n_workers = par::resolve_threads(threads).min(corpus.len().max(1));
 
     // Each worker consumes images round-robin and builds a partial map from
     // digest prefix to (count, images, sampled compression fraction).
-    let results: Vec<WorkerResult> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_workers)
-            .map(|w| {
-                scope.spawn(move |_| worker_pass(corpus, set, block_size, codec, sampling, w, n_workers))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("analysis worker")).collect()
-    })
-    .expect("analysis scope");
+    // Partials merge in worker order, so results match the serial pass.
+    let results: Vec<WorkerResult> = par::run_workers(n_workers, |w| {
+        worker_pass(corpus, set, block_size, codec, sampling, w, n_workers)
+    });
 
     merge(block_size, results, sampling)
 }
@@ -169,7 +159,7 @@ fn worker_pass(
         }
         let image_id = img.id();
         let mut per_block = |block: Vec<u8>| {
-            if block.is_empty() || block.iter().all(|&b| b == 0) {
+            if block.is_empty() || squirrel_hash::is_zero_block(&block) {
                 return; // sparse: zero blocks are not "nonzero blocks"
             }
             nonzero_blocks += 1;

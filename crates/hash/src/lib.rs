@@ -8,10 +8,35 @@
 //! not a concern (see the Rust Performance Book's hashing chapter).
 
 mod fast;
+pub mod par;
 mod sha256;
 
 pub use fast::{mix64, FnvBuildHasher, FnvHashMap, FnvHashSet, Fnv1a64};
 pub use sha256::{sha256, Sha256};
+
+/// Word-wise all-zero test, the fast path of ZFS-style zero-block elision.
+///
+/// Reads the buffer as `u64` words (OR-accumulated in chunks so the
+/// optimizer can vectorize) with a byte-wise tail for lengths that are not
+/// a multiple of 8.
+#[inline]
+pub fn is_zero_block(data: &[u8]) -> bool {
+    let mut chunks = data.chunks_exact(8);
+    let mut acc = 0u64;
+    for w in chunks.by_ref() {
+        acc |= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+    }
+    acc == 0 && chunks.remainder().iter().all(|&b| b == 0)
+}
+
+/// Hash a batch of blocks across `threads` workers (0 = all cores),
+/// returning digests in input order.
+pub fn hash_blocks<B>(blocks: &[B], threads: usize) -> Vec<ContentHash>
+where
+    B: AsRef<[u8]> + Sync,
+{
+    par::parallel_map(blocks, threads, |_i, b| ContentHash::of(b.as_ref()))
+}
 
 /// A 256-bit content digest identifying a block's bytes.
 ///
@@ -92,5 +117,31 @@ mod tests {
         let d = format!("{:?}", ContentHash::of(b"x"));
         assert!(d.starts_with("ContentHash("));
         assert!(d.len() < 40);
+    }
+
+    #[test]
+    fn zero_block_detection() {
+        assert!(is_zero_block(&[]));
+        assert!(is_zero_block(&[0u8; 64]));
+        assert!(is_zero_block(&[0u8; 13])); // non-multiple-of-8 tail
+        let mut buf = [0u8; 64];
+        buf[63] = 1;
+        assert!(!is_zero_block(&buf));
+        let mut buf = [0u8; 13];
+        buf[12] = 1;
+        assert!(!is_zero_block(&buf));
+        buf[12] = 0;
+        buf[0] = 1;
+        assert!(!is_zero_block(&buf));
+    }
+
+    #[test]
+    fn hash_blocks_matches_serial_at_any_thread_count() {
+        let blocks: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i; 100]).collect();
+        let serial: Vec<ContentHash> =
+            blocks.iter().map(|b| ContentHash::of(b)).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(hash_blocks(&blocks, threads), serial);
+        }
     }
 }

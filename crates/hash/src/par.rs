@@ -1,0 +1,121 @@
+//! Minimal std-only scoped worker pool (`std::thread::scope`; no external
+//! thread crates, per the workspace dependency policy).
+//!
+//! Two shapes cover every parallel stage in the workspace:
+//!
+//! * [`run_workers`] — fixed worker count, each worker owns a round-robin
+//!   slice of the input (the corpus-analysis shape).
+//! * [`parallel_map`] — dynamic work-stealing over a slice via an atomic
+//!   cursor, results returned **in input order** (the ingest-pipeline
+//!   shape). Output order is independent of scheduling, which is what lets
+//!   callers promise bit-identical results at any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a `threads` knob: `0` means all available parallelism.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Run `n_workers` copies of `work` (each told its worker index) on scoped
+/// threads and collect their results in worker order. With one worker the
+/// closure runs on the calling thread.
+pub fn run_workers<R, F>(n_workers: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = n_workers.max(1);
+    if n == 1 {
+        return vec![work(0)];
+    }
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..n).map(|w| scope.spawn(move || work(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Batch size pulled from the shared cursor per grab; amortizes contention
+/// while keeping the tail balanced.
+const GRAB: usize = 16;
+
+/// Apply `f` to every item of `items` across up to `threads` scoped workers
+/// (0 = all cores), returning results in input order regardless of how the
+/// work was scheduled.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = resolve_threads(threads).min(items.len().max(1));
+    if n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let parts = run_workers(n, |_w| {
+        let mut out: Vec<(usize, R)> = Vec::new();
+        loop {
+            let start = cursor.fetch_add(GRAB, Ordering::Relaxed);
+            if start >= items.len() {
+                break;
+            }
+            let end = (start + GRAB).min(items.len());
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                out.push((i, f(i, item)));
+            }
+        }
+        out
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_means_all_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn run_workers_orders_by_worker() {
+        assert_eq!(run_workers(4, |w| w * 10), vec![0, 10, 20, 30]);
+        assert_eq!(run_workers(1, |w| w), vec![0]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 8] {
+            let out = parallel_map(&items, threads, |i, &x| x * 2 + i as u64);
+            assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, &b| b).is_empty());
+        assert_eq!(parallel_map(&[7u8], 8, |_, &b| b + 1), vec![8]);
+    }
+}

@@ -21,6 +21,10 @@ pub struct PoolConfig {
     /// On-disk metadata bytes per file block pointer (amortized indirect
     /// blocks; ZFS blkptr_t is 128 B but metadata is itself compressed).
     pub bp_disk_bytes: u64,
+    /// Worker threads for the staged ingestion pipeline
+    /// ([`crate::ZPool::import_file_parallel`]); `0` = all available cores.
+    /// Results are bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl PoolConfig {
@@ -40,12 +44,19 @@ impl PoolConfig {
             ddt_mem_entry_bytes: 120,
             ddt_disk_entry_bytes: 108,
             bp_disk_bytes: 40,
+            threads: 0,
         }
     }
 
     /// Accounting-only variant (no payload retention).
     pub fn accounting_only(mut self) -> Self {
         self.retain_data = false;
+        self
+    }
+
+    /// Set the ingestion worker-thread count (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

@@ -1,0 +1,257 @@
+//! Staged, deterministic parallel ingestion.
+//!
+//! [`ZPool::write_block`] interleaves three very different costs: a zero
+//! scan, a SHA-256 digest, and (for new blocks) a compression pass — all
+//! CPU-bound and independent per block — with dedup-table and file-table
+//! updates that must stay serial. This module splits the two: a *prepare*
+//! phase fans the pure per-block work out over std scoped threads
+//! (`squirrel_hash::par`), and a *commit* phase applies the prepared plan
+//! in block order on the caller's thread.
+//!
+//! Determinism contract: for any `threads` setting (including the serial
+//! [`ZPool::import_file`] path), the resulting pool state is bit-identical —
+//! same DDT entries, same physical allocation order (the append-only
+//! allocator assigns offsets in first-occurrence order, which commit
+//! preserves), same file tables, same send-stream bytes. Compression runs
+//! exactly once per batch-new unique block, mirroring the serial path's
+//! lazy `add_ref` closure.
+
+use crate::ddt::BlockKey;
+use crate::pool::{FileTable, ZPool};
+use squirrel_compress::compress;
+use squirrel_hash::{is_zero_block, par, ContentHash, FnvHashMap, FnvHashSet};
+
+/// A prepared DDT payload: compressed size plus the frame itself (absent in
+/// accounting-only pools) — exactly what `DedupTable::add_ref` consumes.
+type PreparedFrame = (u32, Option<Box<[u8]>>);
+
+impl ZPool {
+    /// Parallel counterpart of [`ZPool::import_file`]: import `blocks` as
+    /// file `name` (replacing any existing file), using the pool's
+    /// configured ingestion thread count. Each block must be exactly
+    /// `block_size` bytes (callers zero-pad tails). The final logical
+    /// length is set to `logical_len`, as in the serial path.
+    pub fn import_file_parallel(&mut self, name: &str, blocks: &[Vec<u8>], logical_len: u64) {
+        let data: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let idxs: Vec<u64> = (0..blocks.len() as u64).collect();
+        self.ingest(name, &idxs, &data, Some(logical_len));
+    }
+
+    /// Parallel import of sparse `(block_index, data)` pairs (the register
+    /// path's copy-on-read cache shape). Indices must be strictly
+    /// increasing; unmentioned indices become holes. The logical length is
+    /// block-granular, matching a serial [`ZPool::write_block`] replay.
+    pub fn import_blocks_parallel(&mut self, name: &str, blocks: &[(u64, Box<[u8]>)]) {
+        debug_assert!(
+            blocks.windows(2).all(|w| w[0].0 < w[1].0),
+            "sparse import requires strictly increasing block indices"
+        );
+        let data: Vec<&[u8]> = blocks.iter().map(|(_, d)| &d[..]).collect();
+        let idxs: Vec<u64> = blocks.iter().map(|(i, _)| *i).collect();
+        self.ingest(name, &idxs, &data, None);
+    }
+
+    /// The shared four-stage pipeline. `idxs[j]` is the file block index of
+    /// `data[j]`; both are in ascending block order.
+    fn ingest(&mut self, name: &str, idxs: &[u64], data: &[&[u8]], logical_len: Option<u64>) {
+        let cfg = *self.config();
+        for b in data {
+            assert_eq!(b.len(), cfg.block_size, "unaligned write");
+        }
+        // Replace the file first so any releases from the old incarnation
+        // land before the new-key scan reads the DDT.
+        self.create_file(name);
+
+        // Stage 1 (parallel, pure): zero-scan + hash every block.
+        let keys: Vec<Option<BlockKey>> = par::parallel_map(data, cfg.threads, |_j, b| {
+            if is_zero_block(b) {
+                None
+            } else {
+                Some(ContentHash::of(b).short())
+            }
+        });
+
+        // Stage 2 (serial): first-occurrence scan for keys new to the DDT.
+        // Scanning in block order fixes each new key's representative block
+        // and, later, its physical allocation slot.
+        let mut seen: FnvHashSet<BlockKey> = FnvHashSet::default();
+        let mut new_unique: Vec<(BlockKey, usize)> = Vec::new();
+        for (j, key) in keys.iter().enumerate() {
+            if let Some(k) = *key {
+                if self.ddt().get(&k).is_none() && seen.insert(k) {
+                    new_unique.push((k, j));
+                }
+            }
+        }
+
+        // Stage 3 (parallel, pure): compress one representative per new
+        // unique key — exactly the work the serial path's lazy `add_ref`
+        // closure performs, once per key.
+        let prepared: Vec<(BlockKey, PreparedFrame)> =
+            par::parallel_map(&new_unique, cfg.threads, |_j, &(k, rep)| {
+                let frame = compress(cfg.codec, data[rep]);
+                let psize = frame.len() as u32;
+                (k, (psize, cfg.retain_data.then(|| frame.into_boxed_slice())))
+            });
+        let mut frames: FnvHashMap<BlockKey, PreparedFrame> = prepared.into_iter().collect();
+
+        // Stage 4 (serial): commit in block order. DDT entries appear in
+        // first-occurrence order, so the append-only physical allocator
+        // reproduces the serial layout exactly.
+        let bs = cfg.block_size as u64;
+        let mut table = FileTable::default();
+        for (j, key) in keys.iter().enumerate() {
+            let idx = idxs[j] as usize;
+            if table.ptrs.len() <= idx {
+                table.ptrs.resize(idx + 1, None);
+            }
+            if let Some(k) = *key {
+                self.ddt_mut()
+                    .add_ref(k, || frames.remove(&k).expect("frame prepared for new key"));
+                table.ptrs[idx] = Some(k);
+            }
+            table.len = table.len.max((idxs[j] + 1) * bs);
+        }
+        if let Some(len) = logical_len {
+            table.len = len;
+        }
+        self.files_mut().insert(name.to_string(), table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::PoolConfig;
+    use crate::pool::ZPool;
+    use squirrel_compress::Codec;
+
+    /// Synthetic batch with duplicates, zero blocks, and compressible data.
+    fn test_blocks(bs: usize, n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| match i % 5 {
+                0 => vec![0u8; bs],                                   // hole
+                1 => (0..bs).map(|j| (j % 13) as u8).collect(),       // repeated
+                2 => (0..bs).map(|j| ((i * 31 + j) % 251) as u8).collect(),
+                3 => vec![(i % 7) as u8; bs],                         // runs
+                _ => (0..bs).map(|j| (j % 13) as u8).collect(),       // dup of 1
+            })
+            .collect()
+    }
+
+    fn serial_pool(bs: usize, codec: Codec, blocks: &[Vec<u8>], len: u64) -> ZPool {
+        let mut p = ZPool::new(PoolConfig::new(bs, codec));
+        p.import_file("f", blocks.iter().cloned(), len);
+        p
+    }
+
+    #[test]
+    fn parallel_import_matches_serial_bit_for_bit() {
+        let bs = 1024;
+        let blocks = test_blocks(bs, 64);
+        let len = 64 * bs as u64 - 100;
+        let mut serial = serial_pool(bs, Codec::Gzip(6), &blocks, len);
+        let serial_stats = serial.stats();
+        serial.snapshot("s");
+        let serial_wire = serial.send_latest().expect("snapshot").encode();
+
+        for threads in [1, 2, 8] {
+            let mut p = ZPool::new(PoolConfig::new(bs, Codec::Gzip(6)).with_threads(threads));
+            p.import_file_parallel("f", &blocks, len);
+            assert_eq!(p.stats(), serial_stats, "threads={threads}");
+            assert!(p.check_refcounts());
+            // Physical layout (allocation order) must match exactly.
+            assert_eq!(p.block_refs("f"), serial.block_refs("f"), "threads={threads}");
+            // The wire bytes of a full send are a digest of the entire pool
+            // state: tables, lengths, payload frames, and their order.
+            p.snapshot("s");
+            assert_eq!(
+                p.send_latest().expect("snapshot").encode(),
+                serial_wire,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_import_reads_back_exactly() {
+        let bs = 512;
+        let blocks = test_blocks(bs, 40);
+        let mut p = ZPool::new(PoolConfig::new(bs, Codec::Lz4).with_threads(4));
+        p.import_file_parallel("f", &blocks, 40 * bs as u64);
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(p.read_block("f", i as u64).expect("file"), *b);
+        }
+    }
+
+    #[test]
+    fn sparse_import_matches_serial_write_block_replay() {
+        let bs = 512;
+        let sparse: Vec<(u64, Box<[u8]>)> = vec![
+            (1, vec![7u8; bs].into_boxed_slice()),
+            (4, (0..bs).map(|j| (j % 9) as u8).collect()),
+            (5, vec![7u8; bs].into_boxed_slice()), // dup of index 1
+            (9, vec![0u8; bs].into_boxed_slice()), // explicit zero block
+        ];
+        let mut serial = ZPool::new(PoolConfig::new(bs, Codec::Lzjb));
+        serial.create_file("c");
+        for (idx, d) in &sparse {
+            serial.write_block("c", *idx, d);
+        }
+        for threads in [1, 2, 8] {
+            let mut p = ZPool::new(PoolConfig::new(bs, Codec::Lzjb).with_threads(threads));
+            p.import_blocks_parallel("c", &sparse);
+            assert_eq!(p.stats(), serial.stats(), "threads={threads}");
+            assert_eq!(p.block_refs("c"), serial.block_refs("c"));
+            assert_eq!(p.file_len("c"), serial.file_len("c"));
+            assert!(p.check_refcounts());
+        }
+    }
+
+    #[test]
+    fn reimport_replaces_and_releases_old_blocks() {
+        let bs = 512;
+        let mut p = ZPool::new(PoolConfig::new(bs, Codec::Off).with_threads(2));
+        p.import_file_parallel("f", &[vec![1u8; bs], vec![2u8; bs]], 2 * bs as u64);
+        assert_eq!(p.stats().unique_blocks, 2);
+        p.import_file_parallel("f", &[vec![3u8; bs]], bs as u64);
+        assert_eq!(p.stats().unique_blocks, 1);
+        assert!(p.check_refcounts());
+    }
+
+    #[test]
+    fn batch_dedups_against_existing_pool_content() {
+        let bs = 512;
+        let mut p = ZPool::new(PoolConfig::new(bs, Codec::Off).with_threads(2));
+        p.import_file_parallel("a", &[vec![5u8; bs]], bs as u64);
+        let phys_before = p.stats().physical_bytes;
+        // Same content under another name: no new physical allocation.
+        p.import_file_parallel("b", &[vec![5u8; bs]], bs as u64);
+        assert_eq!(p.stats().unique_blocks, 1);
+        assert_eq!(p.stats().physical_bytes, phys_before);
+        assert!(p.check_refcounts());
+    }
+
+    #[test]
+    fn accounting_only_pool_imports_without_payloads() {
+        let bs = 512;
+        let blocks = test_blocks(bs, 20);
+        let mut p =
+            ZPool::new(PoolConfig::new(bs, Codec::Lzjb).accounting_only().with_threads(2));
+        p.import_file_parallel("f", &blocks, 20 * bs as u64);
+        let serial = {
+            let mut s = ZPool::new(PoolConfig::new(bs, Codec::Lzjb).accounting_only());
+            s.import_file("f", blocks.iter().cloned(), 20 * bs as u64);
+            s
+        };
+        assert_eq!(p.stats(), serial.stats());
+    }
+
+    #[test]
+    fn empty_import_creates_empty_file() {
+        let mut p = ZPool::new(PoolConfig::new(512, Codec::Off).with_threads(8));
+        p.import_file_parallel("f", &[], 0);
+        assert!(p.has_file("f"));
+        assert_eq!(p.file_len("f"), Some(0));
+        assert_eq!(p.stats().unique_blocks, 0);
+    }
+}

@@ -14,6 +14,10 @@
 //! * **Snapshots & incremental send** ([`send`]) — cheap read-only snapshots
 //!   of the whole pool's file set and `zfs send -i`-style diff streams, the
 //!   propagation mechanism of Squirrel's registration workflow (Section 3).
+//! * **Staged parallel ingestion** ([`ingest`]) — whole-file imports split
+//!   into a pure prepare phase (zero-scan, hash, compress) that fans out
+//!   over std scoped threads and an in-order serial commit, bit-identical
+//!   to the serial write path at any thread count.
 //! * **Physical layout** — unique blocks are allocated sequentially in
 //!   arrival order, so logically adjacent blocks of a deduplicated file end
 //!   up scattered; the boot simulator reads this layout to reproduce the
@@ -22,6 +26,7 @@
 pub mod arc;
 pub mod config;
 pub mod ddt;
+pub mod ingest;
 pub mod pool;
 pub mod scrub;
 pub mod send;

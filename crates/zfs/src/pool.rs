@@ -103,8 +103,7 @@ impl ZPool {
     /// punches a hole.
     pub fn write_block(&mut self, name: &str, block_idx: u64, data: &[u8]) {
         assert_eq!(data.len(), self.config.block_size, "unaligned write");
-        let is_zero = data.iter().all(|&b| b == 0);
-        let new_key = if is_zero {
+        let new_key = if squirrel_hash::is_zero_block(data) {
             None
         } else {
             let key = ContentHash::of(data).short();

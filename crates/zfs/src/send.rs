@@ -279,6 +279,38 @@ impl SendStream {
     pub fn payload_blocks(&self) -> usize {
         self.payload.len()
     }
+
+    /// Apply this stream to many independent pools concurrently (the
+    /// registration multicast: one prepared stream, N receiver ccVolumes).
+    /// Pools are partitioned into contiguous chunks across up to `threads`
+    /// scoped workers (0 = all cores); results come back in pool order.
+    /// Each pool's `recv` is the same serial routine the single-receiver
+    /// path runs, so outcomes are identical to an in-order replay.
+    pub fn apply_all(
+        &self,
+        mut pools: Vec<&mut ZPool>,
+        threads: usize,
+    ) -> Vec<Result<(), RecvError>> {
+        let n = squirrel_hash::par::resolve_threads(threads).min(pools.len().max(1));
+        if n <= 1 {
+            return pools.into_iter().map(|p| p.recv(self)).collect();
+        }
+        let chunk = pools.len().div_ceil(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pools
+                .chunks_mut(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter_mut().map(|p| p.recv(self)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("recv worker panicked"))
+                .collect()
+        })
+    }
 }
 
 impl ZPool {
@@ -663,6 +695,35 @@ mod tests {
         // The estimate is the accounting number; it must be within 2x of
         // the real serialization.
         assert!(actual <= estimate * 2 && estimate <= actual * 2, "{actual} vs {estimate}");
+    }
+
+    #[test]
+    fn apply_all_matches_serial_recv_on_every_pool() {
+        let mut src = pool();
+        fill(&mut src, "cache-1", &[1, 2, 3, 2]);
+        src.snapshot("s1");
+        let stream = src.send_between(None, "s1").expect("send");
+
+        for threads in [1, 2, 8] {
+            let mut pools: Vec<ZPool> = (0..5).map(|_| pool()).collect();
+            let results = stream.apply_all(pools.iter_mut().collect(), threads);
+            assert_eq!(results.len(), 5);
+            assert!(results.iter().all(|r| r.is_ok()), "threads={threads}");
+            let mut reference = pool();
+            reference.recv(&stream).expect("recv");
+            for p in &pools {
+                assert_eq!(p.stats(), reference.stats());
+                assert!(p.check_refcounts());
+                assert_eq!(p.read_block("cache-1", 1), reference.read_block("cache-1", 1));
+            }
+        }
+        // Errors surface per pool, in pool order.
+        let mut good = pool();
+        let mut dup = pool();
+        dup.recv(&stream).expect("pre-seed");
+        let results = stream.apply_all(vec![&mut good, &mut dup], 2);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(RecvError::DuplicateTip("s1".to_string())));
     }
 
     #[test]

@@ -15,4 +15,13 @@ cargo test -q --workspace
 echo "== cargo clippy =="
 cargo clippy --all-targets --workspace -- -D warnings
 
+echo "== cargo doc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== examples (release) =="
+for ex in quickstart node_churn elastic_scaling azure_fleet block_size_tuning; do
+    echo "-- example: $ex"
+    cargo run --release --quiet --example "$ex" > /dev/null
+done
+
 echo "ci.sh: all checks passed"

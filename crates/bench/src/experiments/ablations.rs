@@ -33,12 +33,11 @@ pub fn run_ablation_sync(cfg: &ExperimentConfig) -> SyncAblation {
     let corpus = cfg.corpus();
     let nodes = 16u32;
     let mut sq = Squirrel::new(
-        SquirrelConfig {
-            compute_nodes: nodes,
-            storage_nodes: 4,
-            link: LinkKind::GbE,
-            ..Default::default()
-        },
+        SquirrelConfig::builder()
+            .compute_nodes(nodes)
+            .storage_nodes(4)
+            .link(LinkKind::GbE)
+            .build(),
         Arc::clone(&corpus),
     );
     let regs = corpus.len().min(24) as u32;
@@ -174,12 +173,11 @@ pub fn run_ablation_hoard(cfg: &ExperimentConfig) -> Vec<HoardPoint> {
     let mut t = Table::new(&["hoard_fraction", "cold_boots_pct", "compute_rx_mib"]);
     for &frac in &[1.0f64, 0.5, 0.25] {
         let mut sq = Squirrel::new(
-            SquirrelConfig {
-                compute_nodes: nodes,
-                storage_nodes: 4,
-                link: LinkKind::GbE,
-                ..Default::default()
-            },
+            SquirrelConfig::builder()
+                .compute_nodes(nodes)
+                .storage_nodes(4)
+                .link(LinkKind::GbE)
+                .build(),
             Arc::clone(&corpus),
         );
         for img in 0..n {

@@ -28,12 +28,11 @@ pub fn boot_storm(
 ) -> TransferPoint {
     let corpus = cfg.corpus();
     let mut sq = Squirrel::new(
-        SquirrelConfig {
-            compute_nodes: nodes,
-            storage_nodes: 4,
-            link: LinkKind::QdrInfiniband,
-            ..Default::default()
-        },
+        SquirrelConfig::builder()
+            .compute_nodes(nodes)
+            .storage_nodes(4)
+            .link(LinkKind::QdrInfiniband)
+            .build(),
         Arc::clone(&corpus),
     );
     let needed = (nodes as usize * vms as usize).min(corpus.len());

@@ -11,5 +11,5 @@
 mod netsim;
 mod parallelfs;
 
-pub use netsim::{LinkKind, Network, NodeId, NodeRole, TrafficLedger};
+pub use netsim::{LinkKind, NetError, Network, NodeId, NodeRole, TrafficLedger};
 pub use parallelfs::{GlusterConfig, GlusterVolume};

@@ -1,5 +1,7 @@
 //! Network model: nodes, links, unicast/multicast transfer accounting.
 
+use squirrel_obs::{Counter, Histogram, Metrics};
+
 /// Node identifier within the cluster.
 pub type NodeId = u32;
 
@@ -27,7 +29,39 @@ impl LinkKind {
             LinkKind::QdrInfiniband => 3200.0,
         }
     }
+
+    /// Stable identifier used as the `link` metric label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LinkKind::GbE => "gbe",
+            LinkKind::QdrInfiniband => "qdr-ib",
+        }
+    }
 }
+
+/// Errors from the fallible transfer APIs ([`Network::try_unicast`] and
+/// friends). The panicking variants treat these as caller bugs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A transfer was addressed to its own source.
+    SelfTransfer { node: NodeId },
+    /// A node id outside the cluster.
+    UnknownNode { node: NodeId, nodes: usize },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::SelfTransfer { node } => write!(f, "node {node} transfer to itself"),
+            NetError::UnknownNode { node, nodes } => {
+                write!(f, "unknown node {node} (cluster has {nodes})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
 
 /// Per-node byte counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -36,12 +70,40 @@ pub struct TrafficLedger {
     pub tx_bytes: u64,
 }
 
+/// Interned metric handles for the transfer paths.
+struct NetMeters {
+    tx_bytes: Counter,
+    rx_bytes: Counter,
+    unicasts: Counter,
+    multicasts: Counter,
+    pipelines: Counter,
+    multicast_fanout: Histogram,
+}
+
+impl NetMeters {
+    fn new(m: &Metrics) -> Self {
+        NetMeters {
+            tx_bytes: m.counter("net_tx_bytes_total"),
+            rx_bytes: m.counter("net_rx_bytes_total"),
+            unicasts: m.counter("net_unicast_total"),
+            multicasts: m.counter("net_multicast_total"),
+            pipelines: m.counter("net_pipeline_total"),
+            multicast_fanout: m.histogram("net_multicast_fanout"),
+        }
+    }
+
+    fn disabled() -> Self {
+        Self::new(&Metrics::disabled())
+    }
+}
+
 /// The cluster network: a flat switch with per-node ledgers, supporting
 /// unicast and (for cache propagation) IP multicast.
 pub struct Network {
     link: LinkKind,
     roles: Vec<NodeRole>,
     ledgers: Vec<TrafficLedger>,
+    meters: NetMeters,
 }
 
 impl Network {
@@ -51,7 +113,19 @@ impl Network {
         let mut roles = vec![NodeRole::Compute; compute as usize];
         roles.extend(std::iter::repeat_n(NodeRole::Storage, storage as usize));
         let n = roles.len();
-        Network { link, roles, ledgers: vec![TrafficLedger::default(); n] }
+        Network {
+            link,
+            roles,
+            ledgers: vec![TrafficLedger::default(); n],
+            meters: NetMeters::disabled(),
+        }
+    }
+
+    /// Attach observability: transfers record `net_*` counters and the
+    /// multicast fan-out histogram. The handle gains a `link` label naming
+    /// this network's interconnect.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.meters = NetMeters::new(&metrics.with_label("link", self.link.name()));
     }
 
     pub fn link(&self) -> LinkKind {
@@ -74,44 +148,109 @@ impl Network {
         (0..self.roles.len() as u32).filter(|&n| self.roles[n as usize] == NodeRole::Storage)
     }
 
+    fn check_node(&self, node: NodeId) -> Result<(), NetError> {
+        if (node as usize) < self.roles.len() {
+            Ok(())
+        } else {
+            Err(NetError::UnknownNode { node, nodes: self.roles.len() })
+        }
+    }
+
     /// Transfer `bytes` from `src` to `dst`; returns the transfer seconds.
+    /// Panics on a malformed transfer — see [`try_unicast`](Self::try_unicast).
     pub fn unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64) -> f64 {
         assert_ne!(src, dst, "self-transfer");
+        self.try_unicast(src, dst, bytes).expect("valid unicast")
+    }
+
+    /// Fallible [`unicast`](Self::unicast).
+    pub fn try_unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64) -> Result<f64, NetError> {
+        if src == dst {
+            return Err(NetError::SelfTransfer { node: src });
+        }
+        self.check_node(src)?;
+        self.check_node(dst)?;
         self.ledgers[src as usize].tx_bytes += bytes;
         self.ledgers[dst as usize].rx_bytes += bytes;
-        bytes as f64 / (self.link.mbps() * 1e6)
+        self.meters.unicasts.inc();
+        self.meters.tx_bytes.add(bytes);
+        self.meters.rx_bytes.add(bytes);
+        Ok(bytes as f64 / (self.link.mbps() * 1e6))
     }
 
     /// IP-multicast `bytes` from `src` to `dsts`: the sender transmits once,
     /// every receiver's NIC receives the full payload (the mechanism the
-    /// paper assumes for snapshot-diff propagation, Section 3.2).
+    /// paper assumes for snapshot-diff propagation, Section 3.2). Panics on
+    /// a malformed transfer — see [`try_multicast`](Self::try_multicast).
     pub fn multicast(&mut self, src: NodeId, dsts: &[NodeId], bytes: u64) -> f64 {
+        self.try_multicast(src, dsts, bytes).expect("valid multicast")
+    }
+
+    /// Fallible [`multicast`](Self::multicast).
+    pub fn try_multicast(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        bytes: u64,
+    ) -> Result<f64, NetError> {
+        self.check_node(src)?;
+        for &d in dsts {
+            if d == src {
+                return Err(NetError::SelfTransfer { node: src });
+            }
+            self.check_node(d)?;
+        }
         self.ledgers[src as usize].tx_bytes += bytes;
         for &d in dsts {
-            assert_ne!(d, src, "multicast to self");
             self.ledgers[d as usize].rx_bytes += bytes;
         }
-        bytes as f64 / (self.link.mbps() * 1e6)
+        self.meters.multicasts.inc();
+        self.meters.tx_bytes.add(bytes);
+        self.meters.rx_bytes.add(bytes * dsts.len() as u64);
+        self.meters.multicast_fanout.observe(dsts.len() as u64);
+        Ok(bytes as f64 / (self.link.mbps() * 1e6))
     }
 
     /// LANTorrent-style pipelined transfer: the source sends once to the
     /// first receiver, each receiver forwards to the next while receiving.
     /// Every node transmits and receives at most one copy, and on a single
     /// switch the pipeline completes in roughly one transfer time plus a
-    /// per-hop latency. Returns the transfer seconds.
+    /// per-hop latency. Returns the transfer seconds. Panics on a malformed
+    /// transfer — see [`try_pipeline`](Self::try_pipeline).
     pub fn pipeline(&mut self, src: NodeId, dsts: &[NodeId], bytes: u64) -> f64 {
+        self.try_pipeline(src, dsts, bytes).expect("valid pipeline")
+    }
+
+    /// Fallible [`pipeline`](Self::pipeline).
+    pub fn try_pipeline(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        bytes: u64,
+    ) -> Result<f64, NetError> {
         if dsts.is_empty() {
-            return 0.0;
+            return Ok(0.0);
+        }
+        self.check_node(src)?;
+        let mut prev = src;
+        for &d in dsts {
+            if d == prev {
+                return Err(NetError::SelfTransfer { node: d });
+            }
+            self.check_node(d)?;
+            prev = d;
         }
         let mut prev = src;
         for &d in dsts {
-            assert_ne!(d, prev, "pipeline hop to self");
             self.ledgers[prev as usize].tx_bytes += bytes;
             self.ledgers[d as usize].rx_bytes += bytes;
             prev = d;
         }
+        self.meters.pipelines.inc();
+        self.meters.tx_bytes.add(bytes * dsts.len() as u64);
+        self.meters.rx_bytes.add(bytes * dsts.len() as u64);
         const HOP_LATENCY_S: f64 = 0.002;
-        bytes as f64 / (self.link.mbps() * 1e6) + HOP_LATENCY_S * dsts.len() as f64
+        Ok(bytes as f64 / (self.link.mbps() * 1e6) + HOP_LATENCY_S * dsts.len() as f64)
     }
 
     pub fn ledger(&self, node: NodeId) -> TrafficLedger {
@@ -124,7 +263,8 @@ impl Network {
     }
 
     /// Reset all ledgers (between experiment phases: registration traffic
-    /// versus boot-time traffic are reported separately).
+    /// versus boot-time traffic are reported separately). Metrics counters
+    /// are cumulative and are not reset.
     pub fn reset_ledgers(&mut self) {
         self.ledgers.fill(TrafficLedger::default());
     }
@@ -207,5 +347,44 @@ mod tests {
     #[should_panic(expected = "self-transfer")]
     fn self_unicast_panics() {
         Network::new(LinkKind::GbE, 1, 1).unicast(0, 0, 1);
+    }
+
+    #[test]
+    fn try_variants_report_errors_instead_of_panicking() {
+        let mut net = Network::new(LinkKind::GbE, 2, 1);
+        assert_eq!(net.try_unicast(0, 0, 1), Err(NetError::SelfTransfer { node: 0 }));
+        assert_eq!(
+            net.try_unicast(0, 9, 1),
+            Err(NetError::UnknownNode { node: 9, nodes: 3 })
+        );
+        assert_eq!(net.try_multicast(2, &[0, 2], 1), Err(NetError::SelfTransfer { node: 2 }));
+        assert_eq!(
+            net.try_pipeline(2, &[0, 0], 1),
+            Err(NetError::SelfTransfer { node: 0 })
+        );
+        // Failed transfers must not touch the ledgers.
+        assert_eq!(net.compute_rx_total(), 0);
+        assert_eq!(net.ledger(2), TrafficLedger::default());
+        // Errors render through Display and implement Error.
+        let e: Box<dyn std::error::Error> = Box::new(NetError::SelfTransfer { node: 7 });
+        assert_eq!(e.to_string(), "node 7 transfer to itself");
+    }
+
+    #[test]
+    fn transfers_record_metrics() {
+        let reg = squirrel_obs::MetricsRegistry::new();
+        let mut net = Network::new(LinkKind::GbE, 4, 1);
+        net.set_metrics(&reg.handle());
+        net.unicast(4, 0, 100);
+        net.multicast(4, &[0, 1, 2], 50);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("net_tx_bytes_total{link=\"gbe\"}"), Some(150));
+        assert_eq!(snap.counter("net_rx_bytes_total{link=\"gbe\"}"), Some(250));
+        assert_eq!(snap.counter("net_multicast_total{link=\"gbe\"}"), Some(1));
+        let fanout = snap
+            .histogram("net_multicast_fanout{link=\"gbe\"}")
+            .expect("fan-out histogram");
+        assert_eq!(fanout.count, 1);
+        assert_eq!(fanout.sum, 3);
     }
 }

@@ -30,6 +30,8 @@ mod system;
 mod trace;
 
 pub use system::{
-    BootOutcome, RegisterReport, RejoinOutcome, Squirrel, SquirrelConfig, SquirrelError,
+    BootOutcome, BootVerification, EvictReport, GcReport, NodeReplication, RegisterReport,
+    RegistrationInfo, RejoinOutcome, ReplicationReport, Squirrel, SquirrelConfig,
+    SquirrelConfigBuilder, SquirrelError,
 };
 pub use trace::paper_scale_trace;

@@ -5,13 +5,19 @@ use squirrel_bootsim::{Backend, BootReport, BootSim, DedupVolumeParams};
 use squirrel_cluster::{GlusterConfig, GlusterVolume, LinkKind, Network, NodeId};
 use squirrel_compress::Codec;
 use squirrel_dataset::{Corpus, ImageId};
+use squirrel_obs::{Metrics, MetricsRegistry};
 use squirrel_qcow::{CorCache, VirtualDisk};
 use squirrel_zfs::{PoolConfig, RecvError, SpaceStats, ZPool};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// System configuration; defaults match the paper's deployment.
+///
+/// Construct with [`SquirrelConfig::builder`] (the struct is
+/// `#[non_exhaustive]`, so it cannot be built with a literal outside this
+/// crate) or start from [`Default`] — both give the paper's deployment.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct SquirrelConfig {
     /// cVolume record size. The paper's evaluation picks 64 KiB.
     pub block_size: usize,
@@ -27,6 +33,9 @@ pub struct SquirrelConfig {
     /// (`0` = all available cores). Purely a throughput knob: results are
     /// bit-identical at any setting.
     pub threads: usize,
+    /// Record metrics and journal events (see [`Squirrel::metrics`]). When
+    /// `false` every instrument is a disabled no-op handle.
+    pub metrics: bool,
 }
 
 impl Default for SquirrelConfig {
@@ -39,18 +48,93 @@ impl Default for SquirrelConfig {
             compute_nodes: 64,
             storage_nodes: 4,
             threads: 0,
+            metrics: true,
         }
+    }
+}
+
+impl SquirrelConfig {
+    /// Builder seeded with the paper's deployment defaults.
+    pub fn builder() -> SquirrelConfigBuilder {
+        SquirrelConfigBuilder { config: SquirrelConfig::default() }
+    }
+}
+
+/// Builder for [`SquirrelConfig`]; every unset knob keeps its paper default.
+#[derive(Clone, Debug)]
+pub struct SquirrelConfigBuilder {
+    config: SquirrelConfig,
+}
+
+impl SquirrelConfigBuilder {
+    pub fn block_size(mut self, bytes: usize) -> Self {
+        self.config.block_size = bytes;
+        self
+    }
+
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.config.codec = codec;
+        self
+    }
+
+    pub fn gc_window_days(mut self, days: u64) -> Self {
+        self.config.gc_window_days = days;
+        self
+    }
+
+    pub fn link(mut self, link: LinkKind) -> Self {
+        self.config.link = link;
+        self
+    }
+
+    pub fn compute_nodes(mut self, nodes: u32) -> Self {
+        self.config.compute_nodes = nodes;
+        self
+    }
+
+    pub fn storage_nodes(mut self, nodes: u32) -> Self {
+        self.config.storage_nodes = nodes;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.config.metrics = enabled;
+        self
+    }
+
+    /// Finish the configuration.
+    ///
+    /// # Panics
+    /// If the record size is not a power of two of at least 512 bytes, or
+    /// fewer than four storage nodes are configured (gluster 2x2 striping +
+    /// replication needs four bricks).
+    pub fn build(self) -> SquirrelConfig {
+        assert!(
+            self.config.block_size >= 512 && self.config.block_size.is_power_of_two(),
+            "record size must be a power of two >= 512"
+        );
+        assert!(self.config.storage_nodes >= 4, "gluster 2x2 needs four bricks");
+        self.config
     }
 }
 
 /// Errors surfaced by Squirrel's operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SquirrelError {
     UnknownImage(ImageId),
     AlreadyRegistered(ImageId),
     NotRegistered(ImageId),
     NodeOffline(NodeId),
     NoSuchNode(NodeId),
+    /// A snapshot stream failed to apply during catch-up; the underlying
+    /// [`RecvError`] is reachable through [`std::error::Error::source`].
+    Recv(RecvError),
 }
 
 impl std::fmt::Display for SquirrelError {
@@ -61,11 +145,25 @@ impl std::fmt::Display for SquirrelError {
             SquirrelError::NotRegistered(i) => write!(f, "image {i} not registered"),
             SquirrelError::NodeOffline(n) => write!(f, "node {n} is offline"),
             SquirrelError::NoSuchNode(n) => write!(f, "no such compute node {n}"),
+            SquirrelError::Recv(e) => write!(f, "snapshot stream rejected: {e}"),
         }
     }
 }
 
-impl std::error::Error for SquirrelError {}
+impl std::error::Error for SquirrelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SquirrelError::Recv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RecvError> for SquirrelError {
+    fn from(e: RecvError) -> Self {
+        SquirrelError::Recv(e)
+    }
+}
 
 /// Outcome of a registration (paper Figure 6).
 #[derive(Clone, Debug)]
@@ -107,6 +205,83 @@ pub enum RejoinOutcome {
     FullReplication { wire_bytes: u64 },
 }
 
+/// Outcome of a [`Squirrel::gc`] run (paper Section 3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcReport {
+    /// Snapshots collected from the scVolume (and every ccVolume).
+    pub snapshots_collected: u32,
+    /// scVolume disk bytes freed by the collection.
+    pub bytes_reclaimed: u64,
+}
+
+/// One compute node's entry in a [`ReplicationReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeReplication {
+    pub node: NodeId,
+    pub online: bool,
+    /// Whether the ccVolume's file list matches the reference exactly.
+    pub in_sync: bool,
+    /// Caches the ccVolume currently holds.
+    pub file_count: usize,
+}
+
+/// Outcome of [`Squirrel::check_replication`]: every node's sync state
+/// against the scVolume's latest snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicationReport {
+    /// The snapshot the comparison was taken against (`None` before the
+    /// first registration, when the live file list is the reference).
+    pub reference_snapshot: Option<String>,
+    pub nodes: Vec<NodeReplication>,
+}
+
+impl ReplicationReport {
+    /// The paper's invariant: every *online* node mirrors the scVolume.
+    /// Offline nodes are expected to lag; they catch up on rejoin.
+    pub fn is_consistent(&self) -> bool {
+        self.nodes.iter().filter(|n| n.online).all(|n| n.in_sync)
+    }
+
+    /// Online nodes currently out of sync (empty iff consistent).
+    pub fn lagging_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.online && !n.in_sync)
+            .map(|n| n.node)
+            .collect()
+    }
+}
+
+/// Registration record of an image (see [`Squirrel::registration_info`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegistrationInfo {
+    pub image: ImageId,
+    /// scVolume snapshot created by the registration.
+    pub snapshot_tag: String,
+    /// Simulated day the registration happened.
+    pub day: u64,
+}
+
+/// Outcome of [`Squirrel::verify_boot`]: a boot-trace replay through the
+/// real CoW → CoR → ccVolume data path, byte-checked against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BootVerification {
+    /// Bytes read and verified against the image content.
+    pub bytes_verified: u64,
+    /// Blocks the CoR layer had to fetch from the backing image (a warm
+    /// cache keeps this at ~zero inside the working set).
+    pub backing_fetches: u64,
+}
+
+/// Outcome of [`Squirrel::evict_cache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictReport {
+    pub node: NodeId,
+    pub image: ImageId,
+    /// Whether the cache was present before the eviction.
+    pub was_cached: bool,
+}
+
 struct ComputeNode {
     ccvol: ZPool,
     online: bool,
@@ -133,6 +308,13 @@ pub struct Squirrel {
     /// when an image is deregistered and registered again.
     reg_seq: u64,
     sim: BootSim,
+    registry: MetricsRegistry,
+    /// Unlabeled handle used by the workflow layer (`squirrel_*` series).
+    obs: Metrics,
+    /// Shared `pool="ccvol"` handle: every ccVolume — including ones rebuilt
+    /// on rejoin — records into the same commutative series, so parallel
+    /// stream application stays deterministic.
+    ccvol_obs: Metrics,
 }
 
 /// Adapter: expose a corpus image as a [`VirtualDisk`] for the registration
@@ -156,28 +338,48 @@ impl Squirrel {
     /// Bring up the system for `corpus` (images known, none registered).
     pub fn new(config: SquirrelConfig, corpus: Arc<Corpus>) -> Self {
         assert!(config.storage_nodes >= 4, "gluster 2x2 needs four bricks");
-        let net = Network::new(config.link, config.compute_nodes, config.storage_nodes);
+        let registry = MetricsRegistry::new();
+        let obs = if config.metrics { registry.handle() } else { Metrics::disabled() };
+        let ccvol_obs = obs.with_label("pool", "ccvol");
+        let mut net = Network::new(config.link, config.compute_nodes, config.storage_nodes);
+        net.set_metrics(&obs);
         let bricks: Vec<NodeId> =
             (config.compute_nodes..config.compute_nodes + 4).collect();
         let gluster = GlusterVolume::new(GlusterConfig::default(), bricks);
         let pool_cfg =
             PoolConfig::new(config.block_size, config.codec).with_threads(config.threads);
         let nodes = (0..config.compute_nodes)
-            .map(|_| ComputeNode { ccvol: ZPool::new(pool_cfg), online: true })
+            .map(|_| {
+                let mut ccvol = ZPool::new(pool_cfg);
+                ccvol.set_metrics(&ccvol_obs);
+                ComputeNode { ccvol, online: true }
+            })
             .collect();
+        let mut scvol = ZPool::new(pool_cfg);
+        scvol.set_metrics(&obs.with_label("pool", "scvol"));
         Squirrel {
             config,
             corpus,
             net,
             gluster,
-            scvol: ZPool::new(pool_cfg),
+            scvol,
             nodes,
             registered: BTreeMap::new(),
             day: 0,
             snapshot_days: BTreeMap::new(),
             reg_seq: 0,
             sim: BootSim::new(),
+            registry,
+            obs,
+            ccvol_obs,
         }
+    }
+
+    /// The system's metrics registry. [`MetricsRegistry::snapshot`] after
+    /// any workflow sequence is bit-identical across `threads` settings;
+    /// see DESIGN.md's observability section for the contract.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     pub fn config(&self) -> &SquirrelConfig {
@@ -216,6 +418,8 @@ impl Squirrel {
         if self.registered.contains_key(&image) {
             return Err(SquirrelError::AlreadyRegistered(image));
         }
+        let mut span = self.obs.span("register");
+        span.field("image", image);
 
         // 1. First boot behind a CoR cache on the storage node. The cache
         //    captures exactly the boot working set.
@@ -290,6 +494,19 @@ impl Squirrel {
             .total_seconds;
 
         self.registered.insert(image, Registration { snapshot_tag: tag.clone(), day: self.day });
+
+        self.obs.inc("squirrel_register_total");
+        self.obs.add("squirrel_register_wire_bytes_total", wire);
+        self.obs.add("squirrel_register_cache_bytes_total", cache_bytes);
+        let sc = self.scvol.stats();
+        self.obs.set_gauge("squirrel_registered_images", self.registered.len() as u64);
+        self.obs.set_gauge("squirrel_scvol_ddt_entries", sc.unique_blocks);
+        self.obs.set_gauge("squirrel_scvol_disk_bytes", sc.total_disk_bytes());
+        span.field("cache_bytes", cache_bytes);
+        span.field("wire_bytes", wire);
+        span.field("nodes_updated", u64::from(updated));
+        span.field("snapshot_tag", tag.as_str());
+
         Ok(RegisterReport {
             image,
             cache_bytes,
@@ -349,6 +566,7 @@ impl Squirrel {
                 ..DedupVolumeParams::new(self.config.block_size as u64)
             };
             let report = self.sim.boot(&trace, &Backend::DedupVolume(params));
+            self.record_boot(node, image, true, 0);
             Ok(BootOutcome { image, node, warm: true, net_bytes: 0, report })
         } else {
             // Cold path: the boot working set crosses the network from the
@@ -363,6 +581,7 @@ impl Squirrel {
                     image_bytes: self.paper_image_bytes(image),
                 },
             );
+            self.record_boot(node, image, false, ws_corpus_scale);
             Ok(BootOutcome {
                 image,
                 node,
@@ -371,6 +590,29 @@ impl Squirrel {
                 report,
             })
         }
+    }
+
+    /// Per-node boot accounting (serial: boots never run concurrently).
+    fn record_boot(&self, node: NodeId, image: ImageId, warm: bool, net_bytes: u64) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let result = if warm { "warm" } else { "cold" };
+        self.obs.add_with(
+            "squirrel_boot_total",
+            &[("node", node.to_string().as_str()), ("result", result)],
+            1,
+        );
+        self.obs.add("squirrel_boot_net_bytes_total", net_bytes);
+        self.obs.event(
+            "boot",
+            &[
+                ("node", node.into()),
+                ("image", image.into()),
+                ("warm", warm.into()),
+                ("net_bytes", net_bytes.into()),
+            ],
+        );
     }
 
     /// Deregister an image (paper Section 3.4): delete the VMI and its
@@ -389,7 +631,9 @@ impl Squirrel {
     /// Daily garbage collection (paper Section 3.4): on every cVolume, keep
     /// snapshots from the last `n` days plus the latest one regardless of
     /// age.
-    pub fn gc(&mut self) {
+    pub fn gc(&mut self) -> GcReport {
+        let mut span = self.obs.span("gc");
+        let before = self.scvol.stats().total_disk_bytes();
         let cutoff = self.day.saturating_sub(self.config.gc_window_days);
         let latest = self.scvol.latest_snapshot().map(|s| s.to_string());
         let doomed: Vec<String> = self
@@ -409,6 +653,18 @@ impl Squirrel {
             }
             self.snapshot_days.remove(tag);
         }
+        let after = self.scvol.stats().total_disk_bytes();
+        let report = GcReport {
+            snapshots_collected: doomed.len() as u32,
+            bytes_reclaimed: before.saturating_sub(after),
+        };
+        self.obs.inc("squirrel_gc_runs_total");
+        self.obs.add("squirrel_gc_snapshots_total", u64::from(report.snapshots_collected));
+        self.obs.add("squirrel_gc_bytes_reclaimed_total", report.bytes_reclaimed);
+        self.obs.set_gauge("squirrel_scvol_disk_bytes", after);
+        span.field("snapshots_collected", u64::from(report.snapshots_collected));
+        span.field("bytes_reclaimed", report.bytes_reclaimed);
+        report
     }
 
     /// Take a compute node offline (fail-stop).
@@ -429,13 +685,19 @@ impl Squirrel {
             return Err(SquirrelError::NoSuchNode(node));
         }
         self.nodes[idx].online = true;
+        let mut span = self.obs.span("rejoin");
+        span.field("node", node);
 
         let sc_latest = match self.scvol.latest_snapshot() {
             Some(t) => t.to_string(),
-            None => return Ok(RejoinOutcome::UpToDate),
+            None => {
+                span.field("outcome", "up-to-date");
+                return Ok(RejoinOutcome::UpToDate);
+            }
         };
         let local_latest = self.nodes[idx].ccvol.latest_snapshot().map(|s| s.to_string());
         if local_latest.as_deref() == Some(sc_latest.as_str()) {
+            span.field("outcome", "up-to-date");
             return Ok(RejoinOutcome::UpToDate);
         }
 
@@ -455,7 +717,11 @@ impl Squirrel {
                     .apply_all(vec![&mut self.nodes[idx].ccvol], self.config.threads)
                     .pop()
                     .expect("one target")
-                    .expect("base verified present");
+                    .map_err(SquirrelError::Recv)?;
+                self.obs.add_with("squirrel_rejoin_total", &[("outcome", "incremental")], 1);
+                self.obs.add("squirrel_rejoin_wire_bytes_total", wire);
+                span.field("outcome", "incremental");
+                span.field("wire_bytes", wire);
                 return Ok(RejoinOutcome::Incremental { wire_bytes: wire });
             }
         }
@@ -471,12 +737,18 @@ impl Squirrel {
             PoolConfig::new(self.config.block_size, self.config.codec)
                 .with_threads(self.config.threads),
         );
+        // The rebuilt pool records into the same shared ccVolume series.
+        fresh.set_metrics(&self.ccvol_obs);
         stream
             .apply_all(vec![&mut fresh], self.config.threads)
             .pop()
             .expect("one target")
-            .expect("full stream");
+            .map_err(SquirrelError::Recv)?;
         self.nodes[idx].ccvol = fresh;
+        self.obs.add_with("squirrel_rejoin_total", &[("outcome", "full-replication")], 1);
+        self.obs.add("squirrel_rejoin_wire_bytes_total", wire);
+        span.field("outcome", "full-replication");
+        span.field("wire_bytes", wire);
         Ok(RejoinOutcome::FullReplication { wire_bytes: wire })
     }
 
@@ -486,13 +758,13 @@ impl Squirrel {
     /// records) and backed by the image over the parallel FS — verifying
     /// every byte against the image's ground-truth content.
     ///
-    /// Returns `(bytes_verified, backing_fetches)`; a warm cache must give
-    /// zero backing fetches for reads inside the working set.
+    /// A warm cache must give zero backing fetches for reads inside the
+    /// working set; see [`BootVerification`].
     pub fn verify_boot(
         &mut self,
         node: NodeId,
         image: ImageId,
-    ) -> Result<(u64, u64), SquirrelError> {
+    ) -> Result<BootVerification, SquirrelError> {
         let n = self
             .nodes
             .get(node as usize)
@@ -509,6 +781,8 @@ impl Squirrel {
             ImageDisk { corpus: Arc::clone(&self.corpus), image },
             bs,
         ));
+        chain.set_metrics(&self.obs);
+        chain.backing().set_metrics(&self.obs);
         // Warm the CoR layer from the ccVolume's cache file, exercising the
         // full decompress path of the pool.
         let name = Self::cache_file_name(image);
@@ -538,7 +812,10 @@ impl Squirrel {
             }
             verified += op.len as u64;
         }
-        Ok((verified, chain.backing().fetch_count))
+        Ok(BootVerification {
+            bytes_verified: verified,
+            backing_fetches: chain.backing().fetch_count,
+        })
     }
 
     /// Boot a sequence of images on `node`, reading every cache block
@@ -561,6 +838,7 @@ impl Squirrel {
         }
         let bs = self.config.block_size as u64;
         let mut arc = squirrel_zfs::ArcCache::new(arc_bytes);
+        arc.set_metrics(&self.obs);
         for &image in images {
             if (image as usize) >= self.corpus.len() {
                 return Err(SquirrelError::UnknownImage(image));
@@ -573,15 +851,21 @@ impl Squirrel {
                 arc.read_through(&n.ccvol, &name, b);
             }
         }
-        Ok(arc.stats())
+        let stats = arc.stats();
+        self.obs.set_gauge_f64("squirrel_arc_hit_rate", stats.hit_rate());
+        Ok(stats)
     }
 
     /// Evict one cache from one node's ccVolume (models a capacity-limited
     /// node running a replacement policy instead of full scatter hoarding —
-    /// the traditional alternative the paper argues against). Returns `true`
-    /// if the cache was present. Subsequent boots of that image on that
-    /// node take the cold path until the next diff restores it.
-    pub fn evict_cache(&mut self, node: NodeId, image: ImageId) -> Result<bool, SquirrelError> {
+    /// the traditional alternative the paper argues against). Subsequent
+    /// boots of that image on that node take the cold path until the next
+    /// diff restores it.
+    pub fn evict_cache(
+        &mut self,
+        node: NodeId,
+        image: ImageId,
+    ) -> Result<EvictReport, SquirrelError> {
         let n = self
             .nodes
             .get_mut(node as usize)
@@ -589,7 +873,10 @@ impl Squirrel {
         let name = Self::cache_file_name(image);
         let had = n.ccvol.has_file(&name);
         n.ccvol.delete_file(&name);
-        Ok(had)
+        if had {
+            self.obs.inc("squirrel_cache_evictions_total");
+        }
+        Ok(EvictReport { node, image, was_cached: had })
     }
 
     /// Whether `node`'s ccVolume currently holds `image`'s cache.
@@ -605,11 +892,13 @@ impl Squirrel {
         self.registered.keys().copied().collect()
     }
 
-    /// Snapshot tag and registration day of `image`, if registered.
-    pub fn registration_info(&self, image: ImageId) -> Option<(&str, u64)> {
-        self.registered
-            .get(&image)
-            .map(|r| (r.snapshot_tag.as_str(), r.day))
+    /// Registration record of `image`, if registered.
+    pub fn registration_info(&self, image: ImageId) -> Option<RegistrationInfo> {
+        self.registered.get(&image).map(|r| RegistrationInfo {
+            image,
+            snapshot_tag: r.snapshot_tag.clone(),
+            day: r.day,
+        })
     }
 
     pub fn is_registered(&self, image: ImageId) -> bool {
@@ -643,19 +932,33 @@ impl Squirrel {
     /// Consistency check: every online node's ccVolume mirrors the
     /// scVolume's state *as of its latest snapshot* — deregistrations after
     /// the last snapshot intentionally haven't propagated yet (they ride
-    /// along with the next registration's diff, paper Section 3.4).
-    pub fn check_replication(&self) -> bool {
-        let reference: Vec<&str> = match self.scvol.latest_snapshot() {
+    /// along with the next registration's diff, paper Section 3.4). Offline
+    /// nodes are reported but don't count against
+    /// [`ReplicationReport::is_consistent`].
+    pub fn check_replication(&self) -> ReplicationReport {
+        let reference_snapshot = self.scvol.latest_snapshot().map(|s| s.to_string());
+        let reference: Vec<&str> = match &reference_snapshot {
             Some(tag) => self
                 .scvol
                 .snapshot_file_names(tag)
                 .expect("latest snapshot exists"),
             None => self.scvol.file_names().collect(),
         };
-        self.nodes.iter().filter(|n| n.online).all(|n| {
-            let cc: Vec<&str> = n.ccvol.file_names().collect();
-            cc == reference
-        })
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let cc: Vec<&str> = n.ccvol.file_names().collect();
+                NodeReplication {
+                    node: i as NodeId,
+                    online: n.online,
+                    in_sync: cc == reference,
+                    file_count: cc.len(),
+                }
+            })
+            .collect();
+        ReplicationReport { reference_snapshot, nodes }
     }
 }
 
@@ -683,7 +986,7 @@ mod tests {
         assert_eq!(r.nodes_updated, 4);
         assert!(r.cache_bytes > 0);
         assert!(r.diff_wire_bytes > 0);
-        assert!(sq.check_replication());
+        assert!(sq.check_replication().is_consistent());
         for n in 0..4 {
             assert_eq!(sq.ccvol_file_count(n), Some(1));
         }
@@ -704,7 +1007,7 @@ mod tests {
             );
             let r0 = sq.register(0).expect("r0");
             let r1 = sq.register(1).expect("r1");
-            assert!(sq.check_replication(), "threads={threads}");
+            assert!(sq.check_replication().is_consistent(), "threads={threads}");
             assert_eq!(r0.nodes_updated, 4);
             assert_eq!(r1.nodes_updated, 4);
             (sq.scvol_stats(), sq.ccvol_stats(0).expect("node"), r0.diff_wire_bytes)
@@ -772,7 +1075,7 @@ mod tests {
         sq.register(2).expect("r2");
         // The new diff carries the deletion.
         assert_eq!(sq.ccvol_file_count(0), Some(2));
-        assert!(sq.check_replication());
+        assert!(sq.check_replication().is_consistent());
     }
 
     #[test]
@@ -784,7 +1087,7 @@ mod tests {
         assert_eq!(sq.ccvol_file_count(2), Some(1), "missed the diff");
         let outcome = sq.node_rejoin(2).expect("rejoin");
         assert!(matches!(outcome, RejoinOutcome::Incremental { .. }), "{outcome:?}");
-        assert!(sq.check_replication());
+        assert!(sq.check_replication().is_consistent());
     }
 
     #[test]
@@ -802,7 +1105,7 @@ mod tests {
             matches!(outcome, RejoinOutcome::FullReplication { .. }),
             "{outcome:?}"
         );
-        assert!(sq.check_replication());
+        assert!(sq.check_replication().is_consistent());
     }
 
     #[test]
@@ -895,19 +1198,23 @@ mod tests {
     fn verify_boot_serves_exact_bytes_from_warm_cache() {
         let mut sq = small_system(2);
         sq.register(0).expect("register");
-        let (verified, fetches) = sq.verify_boot(1, 0).expect("verify");
-        assert!(verified > 0);
+        let v = sq.verify_boot(1, 0).expect("verify");
+        assert!(v.bytes_verified > 0);
         // The QCOW2 cluster over-fetch may cross the working-set boundary
         // once at the tail; everything inside the set must be served warm.
-        assert!(fetches <= 2, "warm boot fetched {fetches} blocks from the base");
+        assert!(
+            v.backing_fetches <= 2,
+            "warm boot fetched {} blocks from the base",
+            v.backing_fetches
+        );
     }
 
     #[test]
     fn verify_boot_without_cache_fetches_from_backing() {
         let mut sq = small_system(1);
-        let (verified, fetches) = sq.verify_boot(0, 1).expect("verify");
-        assert!(verified > 0);
-        assert!(fetches > 0, "cold path must reach the base image");
+        let v = sq.verify_boot(0, 1).expect("verify");
+        assert!(v.bytes_verified > 0);
+        assert!(v.backing_fetches > 0, "cold path must reach the base image");
     }
 
     #[test]
@@ -915,13 +1222,13 @@ mod tests {
         let mut sq = small_system(2);
         sq.register(0).expect("register");
         assert!(sq.has_cache(1, 0));
-        assert!(sq.evict_cache(1, 0).expect("evict"));
+        assert!(sq.evict_cache(1, 0).expect("evict").was_cached);
         assert!(!sq.has_cache(1, 0));
         // Node 1 now cold-boots image 0; node 0 still warm.
         assert!(!sq.boot(1, 0).expect("boot").warm);
         assert!(sq.boot(0, 0).expect("boot").warm);
         // Idempotent eviction.
-        assert!(!sq.evict_cache(1, 0).expect("evict again"));
+        assert!(!sq.evict_cache(1, 0).expect("evict again").was_cached);
     }
 
     #[test]
@@ -929,9 +1236,10 @@ mod tests {
         let mut sq = small_system(1);
         sq.advance_days(3);
         sq.register(0).expect("register");
-        let (tag, day) = sq.registration_info(0).expect("registered");
-        assert_eq!(tag, "vmi-000000-r1");
-        assert_eq!(day, 3);
+        let info = sq.registration_info(0).expect("registered");
+        assert_eq!(info.snapshot_tag, "vmi-000000-r1");
+        assert_eq!(info.day, 3);
+        assert_eq!(info.image, 0);
         assert_eq!(sq.registration_info(5), None);
     }
 
@@ -941,5 +1249,127 @@ mod tests {
         let r = sq.register(0).expect("register");
         // Paper: registration "does not take more than a minute".
         assert!(r.seconds > 10.0 && r.seconds < 120.0, "{}", r.seconds);
+    }
+
+    #[test]
+    fn config_builder_mirrors_literal_and_validates() {
+        let built = SquirrelConfig::builder()
+            .block_size(16 * 1024)
+            .codec(Codec::Gzip(1))
+            .gc_window_days(3)
+            .link(LinkKind::QdrInfiniband)
+            .compute_nodes(8)
+            .storage_nodes(4)
+            .threads(2)
+            .metrics(false)
+            .build();
+        assert_eq!(built.block_size, 16 * 1024);
+        assert_eq!(built.codec, Codec::Gzip(1));
+        assert_eq!(built.gc_window_days, 3);
+        assert_eq!(built.compute_nodes, 8);
+        assert_eq!(built.threads, 2);
+        assert!(!built.metrics);
+        let default = SquirrelConfig::builder().build();
+        assert_eq!(default.block_size, SquirrelConfig::default().block_size);
+        assert!(default.metrics);
+    }
+
+    #[test]
+    #[should_panic(expected = "record size")]
+    fn config_builder_rejects_bad_block_size() {
+        let _ = SquirrelConfig::builder().block_size(1000).build();
+    }
+
+    #[test]
+    fn gc_reports_collected_snapshots_and_reclaimed_bytes() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("r0");
+        let noop = sq.gc();
+        assert_eq!(noop, GcReport { snapshots_collected: 0, bytes_reclaimed: 0 });
+        sq.advance_days(10);
+        sq.register(1).expect("r1");
+        sq.advance_days(10);
+        sq.register(2).expect("r2");
+        let report = sq.gc();
+        assert_eq!(report.snapshots_collected, 2, "{report:?}");
+    }
+
+    #[test]
+    fn replication_report_names_lagging_nodes() {
+        let mut sq = small_system(3);
+        sq.register(0).expect("r0");
+        sq.node_offline(2).expect("offline");
+        sq.register(1).expect("r1");
+        let report = sq.check_replication();
+        assert!(report.is_consistent(), "offline lag is expected: {report:?}");
+        assert_eq!(report.reference_snapshot.as_deref(), Some("vmi-000001-r2"));
+        assert_eq!(report.nodes.len(), 3);
+        assert!(!report.nodes[2].in_sync);
+        assert!(!report.nodes[2].online);
+        assert!(report.lagging_nodes().is_empty());
+        // Bring it back without rejoining: now it counts as lagging.
+        sq.nodes[2].online = true;
+        let report = sq.check_replication();
+        assert!(!report.is_consistent());
+        assert_eq!(report.lagging_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn workflow_metrics_land_in_one_snapshot() {
+        let mut sq = small_system(2);
+        let r = sq.register(0).expect("register");
+        sq.boot(0, 0).expect("warm boot");
+        sq.boot(1, 3).expect("cold boot");
+        sq.gc();
+        let snap = sq.metrics().snapshot();
+        assert_eq!(snap.counter("squirrel_register_total"), Some(1));
+        assert_eq!(
+            snap.counter("squirrel_register_wire_bytes_total"),
+            Some(r.diff_wire_bytes)
+        );
+        assert_eq!(
+            snap.counter("squirrel_boot_total{node=\"0\",result=\"warm\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("squirrel_boot_total{node=\"1\",result=\"cold\"}"),
+            Some(1)
+        );
+        assert_eq!(snap.counter("squirrel_gc_runs_total"), Some(1));
+        assert!(snap.gauge_u64("squirrel_scvol_ddt_entries").unwrap() > 0);
+        // The pool layers reported through the same registry.
+        assert!(snap.counter("zpool_ingest_blocks_total{pool=\"scvol\"}").unwrap() > 0);
+        assert!(snap.counter("zpool_recv_streams_total{pool=\"ccvol\"}").unwrap() >= 2);
+        assert!(snap.counter_sum("net_tx_bytes_total") > 0);
+        // Workflow events are journaled in order.
+        let names: Vec<&str> = snap.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["register", "boot", "boot", "gc"]);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+        let mut sq = Squirrel::new(
+            SquirrelConfig {
+                compute_nodes: 2,
+                block_size: 16 * 1024,
+                metrics: false,
+                ..Default::default()
+            },
+            corpus,
+        );
+        sq.register(0).expect("register");
+        sq.boot(0, 0).expect("boot");
+        let snap = sq.metrics().snapshot();
+        assert_eq!(snap, squirrel_obs::MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn error_source_chains_to_recv_error() {
+        use std::error::Error as _;
+        let err = SquirrelError::Recv(RecvError::MissingBase("vmi-x".into()));
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("snapshot stream rejected"));
+        assert_eq!(SquirrelError::NodeOffline(1).source().map(|_| ()), None);
     }
 }

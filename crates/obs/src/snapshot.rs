@@ -1,0 +1,855 @@
+//! Snapshot model plus Prometheus-text and JSON export with exact
+//! round-trip parsers.
+//!
+//! The JSON format carries the full snapshot (including events); the
+//! Prometheus text format carries counters, gauges, and histograms — the
+//! journal has no Prometheus representation, so `from_prometheus` returns a
+//! snapshot with an empty journal.
+
+use crate::histogram::{bucket_bound, bucket_index, HistogramSnapshot};
+use crate::journal::{Event, FieldValue};
+
+/// A gauge is either an integer or a float series.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GaugeValue {
+    Int(u64),
+    Float(f64),
+}
+
+impl GaugeValue {
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            GaugeValue::Int(v) => *v as f64,
+            GaugeValue::Float(v) => *v,
+        }
+    }
+}
+
+/// Deterministic point-in-time state of a [`crate::MetricsRegistry`]:
+/// series sorted by name, journal events in sequence order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, GaugeValue)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    pub events: Vec<Event>,
+    /// Events the bounded journal shed before this snapshot.
+    pub events_dropped: u64,
+}
+
+/// True when `series` is the base name itself or the base plus labels.
+fn matches_base(series: &str, base: &str) -> bool {
+    series == base
+        || (series.len() > base.len()
+            && series.starts_with(base)
+            && series.as_bytes()[base.len()] == b'{')
+}
+
+/// Series name without the label part.
+fn base_of(series: &str) -> &str {
+    series.split('{').next().unwrap_or(series)
+}
+
+impl MetricsSnapshot {
+    /// Exact-name counter lookup (labels included in `name`).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Sum of every counter series with the given base name, across all
+    /// label combinations.
+    pub fn counter_sum(&self, base: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| matches_base(k, base))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All counter series `(full name, value)` sharing a base name.
+    pub fn counter_series<'a>(
+        &'a self,
+        base: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(k, _)| matches_base(k, base))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<&GaugeValue> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    pub fn gauge_u64(&self, name: &str) -> Option<u64> {
+        match self.gauge(name)? {
+            GaugeValue::Int(v) => Some(*v),
+            GaugeValue::Float(_) => None,
+        }
+    }
+
+    pub fn gauge_f64(&self, name: &str) -> Option<f64> {
+        match self.gauge(name)? {
+            GaugeValue::Float(v) => Some(*v),
+            GaugeValue::Int(_) => None,
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Journal events with the given name, in sequence order.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    // --- Prometheus text format --------------------------------------------
+
+    /// Render the counters, gauges, and histograms in Prometheus text
+    /// exposition format (events have no Prometheus representation).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type: Option<String> = None;
+        let mut type_line = |out: &mut String, base: &str, kind: &str| {
+            if last_type.as_deref() != Some(base) {
+                out.push_str("# TYPE ");
+                out.push_str(base);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+                last_type = Some(base.to_string());
+            }
+        };
+        for (name, v) in &self.counters {
+            type_line(&mut out, base_of(name), "counter");
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            type_line(&mut out, base_of(name), "gauge");
+            match v {
+                GaugeValue::Int(i) => out.push_str(&format!("{name} {i}\n")),
+                GaugeValue::Float(f) => out.push_str(&format!("{name} {f:?}\n")),
+            }
+        }
+        for (name, h) in &self.histograms {
+            type_line(&mut out, base_of(name), "histogram");
+            let mut cumulative = 0u64;
+            for &(idx, n) in &h.buckets {
+                cumulative += n;
+                let series = with_suffix_label(name, "_bucket", &bucket_bound(idx as usize));
+                out.push_str(&format!("{series} {cumulative}\n"));
+            }
+            let inf = with_inf_label(name);
+            out.push_str(&format!("{inf} {}\n", h.count));
+            out.push_str(&format!("{} {}\n", with_suffix(name, "_sum"), h.sum));
+            out.push_str(&format!("{} {}\n", with_suffix(name, "_count"), h.count));
+        }
+        out
+    }
+
+    /// Parse [`to_prometheus`](Self::to_prometheus) output back into a
+    /// snapshot (with an empty journal). Exact inverse for snapshots this
+    /// crate produced.
+    pub fn from_prometheus(text: &str) -> Result<MetricsSnapshot, ParseError> {
+        /// Accumulator for one histogram family while its component series
+        /// stream in: count, sum, de-cumulated buckets, running cumulative.
+        #[derive(Default)]
+        struct HistoAcc {
+            count: u64,
+            sum: u64,
+            buckets: Vec<(u8, u64)>,
+            prev: u64,
+        }
+        let mut kinds: std::collections::BTreeMap<String, String> = Default::default();
+        let mut snap = MetricsSnapshot::default();
+        let mut histos: std::collections::BTreeMap<String, HistoAcc> = Default::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let err = |msg: &str| ParseError::at(lineno + 1, msg);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let base = it.next().ok_or_else(|| err("missing family name"))?;
+                let kind = it.next().ok_or_else(|| err("missing family kind"))?;
+                kinds.insert(base.to_string(), kind.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            // Sample: the value is the trailing whitespace-separated token;
+            // the series name (which may contain spaces inside label
+            // values — not produced by this crate, but be strict anyway)
+            // is everything before it.
+            let split = line.rfind(' ').ok_or_else(|| err("missing sample value"))?;
+            let (series, value) = (line[..split].trim_end(), line[split + 1..].trim());
+            let base = base_of(series);
+            match kinds.get(base).map(|s| s.as_str()) {
+                Some("counter") => {
+                    let v = value.parse().map_err(|_| err("bad counter value"))?;
+                    snap.counters.push((series.to_string(), v));
+                }
+                Some("gauge") => {
+                    let g = match value.parse::<u64>() {
+                        Ok(i) => GaugeValue::Int(i),
+                        Err(_) => GaugeValue::Float(
+                            parse_f64(value).ok_or_else(|| err("bad gauge value"))?,
+                        ),
+                    };
+                    snap.gauges.push((series.to_string(), g));
+                }
+                _ => {
+                    // Histogram component series.
+                    let (family, part) = histogram_family(series, &kinds)
+                        .ok_or_else(|| err("sample without TYPE"))?;
+                    let v: u64 = value.parse().map_err(|_| err("bad histogram value"))?;
+                    let entry = histos.entry(family).or_default();
+                    match part {
+                        HistoPart::Bucket(le) => {
+                            if let Some(le) = le {
+                                let idx = bucket_index(le) as u8;
+                                entry.buckets.push((idx, v - entry.prev));
+                                entry.prev = v;
+                            }
+                            // +Inf bucket: redundant with _count; skip.
+                        }
+                        HistoPart::Sum => entry.sum = v,
+                        HistoPart::Count => entry.count = v,
+                    }
+                }
+            }
+        }
+        for (name, acc) in histos {
+            snap.histograms.push((
+                name,
+                HistogramSnapshot { count: acc.count, sum: acc.sum, buckets: acc.buckets },
+            ));
+        }
+        Ok(snap)
+    }
+
+    // --- JSON ---------------------------------------------------------------
+
+    /// Render the full snapshot (including events) as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": [");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    [{}, {v}]", json_str(name)));
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match v {
+                GaugeValue::Int(g) => {
+                    out.push_str(&format!("\n    [{}, {{\"int\": {g}}}]", json_str(name)))
+                }
+                GaugeValue::Float(g) => out.push_str(&format!(
+                    "\n    [{}, {{\"float\": {}}}]",
+                    json_str(name),
+                    json_f64(*g)
+                )),
+            }
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> =
+                h.buckets.iter().map(|(idx, n)| format!("[{idx}, {n}]")).collect();
+            out.push_str(&format!(
+                "\n    [{}, {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}]",
+                json_str(name),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            ));
+        }
+        out.push_str("\n  ],\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let fields: Vec<String> = e
+                .fields
+                .iter()
+                .map(|(k, v)| {
+                    let val = match v {
+                        FieldValue::U64(x) => format!("{{\"u64\": {x}}}"),
+                        FieldValue::I64(x) => format!("{{\"i64\": {x}}}"),
+                        FieldValue::F64(x) => format!("{{\"f64\": {}}}", json_f64(*x)),
+                        FieldValue::Str(x) => format!("{{\"str\": {}}}", json_str(x)),
+                    };
+                    format!("[{}, {}]", json_str(k), val)
+                })
+                .collect();
+            out.push_str(&format!(
+                "\n    {{\"seq\": {}, \"name\": {}, \"fields\": [{}]}}",
+                e.seq,
+                json_str(&e.name),
+                fields.join(", ")
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"events_dropped\": {}\n}}\n",
+            self.events_dropped
+        ));
+        out
+    }
+
+    /// Parse [`to_json`](Self::to_json) output back into a snapshot.
+    /// Exact inverse for snapshots this crate produced.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, ParseError> {
+        let json = Json::parse(text)?;
+        let obj = json.as_obj("snapshot")?;
+        let mut snap = MetricsSnapshot::default();
+        for pair in obj_get(obj, "counters")?.as_arr("counters")? {
+            let p = pair.as_arr("counter pair")?;
+            snap.counters
+                .push((pair_name(p)?, p[1].as_u64("counter value")?));
+        }
+        for pair in obj_get(obj, "gauges")?.as_arr("gauges")? {
+            let p = pair.as_arr("gauge pair")?;
+            let g = p[1].as_obj("gauge value")?;
+            let value = if let Ok(v) = obj_get(g, "int") {
+                GaugeValue::Int(v.as_u64("int gauge")?)
+            } else {
+                GaugeValue::Float(obj_get(g, "float")?.as_f64("float gauge")?)
+            };
+            snap.gauges.push((pair_name(p)?, value));
+        }
+        for pair in obj_get(obj, "histograms")?.as_arr("histograms")? {
+            let p = pair.as_arr("histogram pair")?;
+            let h = p[1].as_obj("histogram value")?;
+            let mut buckets = Vec::new();
+            for b in obj_get(h, "buckets")?.as_arr("buckets")? {
+                let b = b.as_arr("bucket pair")?;
+                buckets.push((
+                    b[0].as_u64("bucket index")? as u8,
+                    b[1].as_u64("bucket count")?,
+                ));
+            }
+            snap.histograms.push((
+                pair_name(p)?,
+                HistogramSnapshot {
+                    count: obj_get(h, "count")?.as_u64("histogram count")?,
+                    sum: obj_get(h, "sum")?.as_u64("histogram sum")?,
+                    buckets,
+                },
+            ));
+        }
+        for ev in obj_get(obj, "events")?.as_arr("events")? {
+            let e = ev.as_obj("event")?;
+            let mut fields = Vec::new();
+            for f in obj_get(e, "fields")?.as_arr("fields")? {
+                let f = f.as_arr("field pair")?;
+                let fv = f[1].as_obj("field value")?;
+                let (tag, raw) = fv.first().ok_or_else(|| ParseError::new("empty field"))?;
+                let value = match tag.as_str() {
+                    "u64" => FieldValue::U64(raw.as_u64("u64 field")?),
+                    "i64" => FieldValue::I64(raw.as_i64("i64 field")?),
+                    "f64" => FieldValue::F64(raw.as_f64("f64 field")?),
+                    "str" => FieldValue::Str(raw.as_str("str field")?.to_string()),
+                    other => return Err(ParseError::new(&format!("bad field tag {other}"))),
+                };
+                fields.push((pair_name(f)?, value));
+            }
+            snap.events.push(Event {
+                seq: obj_get(e, "seq")?.as_u64("event seq")?,
+                name: obj_get(e, "name")?.as_str("event name")?.to_string(),
+                fields,
+            });
+        }
+        snap.events_dropped = obj_get(obj, "events_dropped")?.as_u64("events_dropped")?;
+        Ok(snap)
+    }
+}
+
+fn pair_name(p: &[Json]) -> Result<String, ParseError> {
+    if p.len() != 2 {
+        return Err(ParseError::new("expected [name, value] pair"));
+    }
+    Ok(p[0].as_str("pair name")?.to_string())
+}
+
+enum HistoPart {
+    /// `Some(le)` for a finite bucket bound, `None` for `+Inf`.
+    Bucket(Option<u64>),
+    Sum,
+    Count,
+}
+
+/// Resolve a `<family>_bucket{...,le="..."}` / `_sum` / `_count` series to
+/// its histogram family series name and component.
+fn histogram_family(
+    series: &str,
+    kinds: &std::collections::BTreeMap<String, String>,
+) -> Option<(String, HistoPart)> {
+    let base = base_of(series);
+    let is_histo = |b: &str| kinds.get(b).map(|k| k == "histogram").unwrap_or(false);
+    if let Some(family_base) = base.strip_suffix("_bucket") {
+        if is_histo(family_base) {
+            let (labels, le) = split_le_label(series.strip_prefix(base)?)?;
+            let family = format!("{family_base}{labels}");
+            let le = match le.as_str() {
+                "+Inf" => None,
+                n => Some(n.parse().ok()?),
+            };
+            return Some((family, HistoPart::Bucket(le)));
+        }
+    }
+    for (suffix, part) in [("_sum", HistoPart::Sum), ("_count", HistoPart::Count)] {
+        if let Some(family_base) = base.strip_suffix(suffix) {
+            if is_histo(family_base) {
+                let labels = series.strip_prefix(base)?;
+                return Some((format!("{family_base}{labels}"), part));
+            }
+        }
+    }
+    None
+}
+
+/// Split `{a="b",le="128"}` into (`{a="b"}` or ``, `128`). The exporter
+/// always appends `le` last.
+fn split_le_label(labels: &str) -> Option<(String, String)> {
+    let inner = labels.strip_prefix('{')?.strip_suffix('}')?;
+    let (rest, le_part) = match inner.rfind(",le=\"") {
+        Some(i) => (&inner[..i], &inner[i + 5..]),
+        None => ("", inner.strip_prefix("le=\"")?),
+    };
+    let le = le_part.strip_suffix('"')?;
+    let labels = if rest.is_empty() { String::new() } else { format!("{{{rest}}}") };
+    Some((labels, le.to_string()))
+}
+
+/// `name{a="b"}` + `_sum` -> `name_sum{a="b"}`.
+fn with_suffix(series: &str, suffix: &str) -> String {
+    match series.find('{') {
+        Some(i) => format!("{}{suffix}{}", &series[..i], &series[i..]),
+        None => format!("{series}{suffix}"),
+    }
+}
+
+/// `name{a="b"}` + `_bucket` + bound -> `name_bucket{a="b",le="bound"}`.
+fn with_suffix_label(series: &str, suffix: &str, le: &u64) -> String {
+    let named = with_suffix(series, suffix);
+    match named.rfind('}') {
+        Some(i) => format!("{},le=\"{le}\"}}", &named[..i]),
+        None => format!("{named}{{le=\"{le}\"}}"),
+    }
+}
+
+fn with_inf_label(series: &str) -> String {
+    let named = with_suffix(series, "_bucket");
+    match named.rfind('}') {
+        Some(i) => format!("{},le=\"+Inf\"}}", &named[..i]),
+        None => format!("{named}{{le=\"+Inf\"}}"),
+    }
+}
+
+/// Render an f64 so that parsing recovers the exact bit pattern (`{:?}` is
+/// Rust's shortest round-trip representation).
+fn json_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    match s {
+        "NaN" => Some(f64::NAN),
+        "inf" => Some(f64::INFINITY),
+        "-inf" => Some(f64::NEG_INFINITY),
+        _ => s.parse().ok(),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Errors from the snapshot parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: &str) -> Self {
+        ParseError { message: message.to_string() }
+    }
+
+    fn at(line: usize, message: &str) -> Self {
+        ParseError { message: format!("line {line}: {message}") }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// --- minimal JSON value model (the subset to_json emits) --------------------
+
+#[derive(Debug)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+fn obj_get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, ParseError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ParseError::new(&format!("missing key {key}")))
+}
+
+impl Json {
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], ParseError> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            _ => Err(ParseError::new(&format!("{what}: expected object"))),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], ParseError> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(ParseError::new(&format!("{what}: expected array"))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, ParseError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(ParseError::new(&format!("{what}: expected string"))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, ParseError> {
+        match self {
+            Json::U64(v) => Ok(*v),
+            _ => Err(ParseError::new(&format!("{what}: expected unsigned integer"))),
+        }
+    }
+
+    fn as_i64(&self, what: &str) -> Result<i64, ParseError> {
+        match self {
+            Json::I64(v) => Ok(*v),
+            Json::U64(v) if *v <= i64::MAX as u64 => Ok(*v as i64),
+            _ => Err(ParseError::new(&format!("{what}: expected integer"))),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, ParseError> {
+        match self {
+            Json::F64(v) => Ok(*v),
+            Json::U64(v) => Ok(*v as f64),
+            Json::I64(v) => Ok(*v as f64),
+            _ => Err(ParseError::new(&format!("{what}: expected number"))),
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, ParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(ParseError::new("trailing data after JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(ParseError::new(&format!(
+            "expected '{}' at byte {}",
+            c as char, *pos
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut obj = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(obj));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                obj.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(obj));
+                    }
+                    _ => return Err(ParseError::new("expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(ParseError::new("expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(_) => parse_number(b, pos),
+        None => Err(ParseError::new("unexpected end of input")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(ParseError::new("expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(ParseError::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| ParseError::new("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| ParseError::new("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| ParseError::new("bad \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| ParseError::new("bad \\u codepoint"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(ParseError::new("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| ParseError::new("invalid utf-8 in string"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    // Accept the non-finite tokens json_f64 can emit.
+    for token in ["NaN", "inf", "-inf"] {
+        if b[*pos..].starts_with(token.as_bytes()) {
+            *pos += token.len();
+            return Ok(Json::F64(parse_f64(token).expect("known token")));
+        }
+    }
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    if s.is_empty() {
+        return Err(ParseError::new("expected number"));
+    }
+    if s.contains(['.', 'e', 'E']) {
+        s.parse().map(Json::F64).map_err(|_| ParseError::new("bad float"))
+    } else if s.starts_with('-') {
+        s.parse().map(Json::I64).map_err(|_| ParseError::new("bad integer"))
+    } else {
+        s.parse().map(Json::U64).map_err(|_| ParseError::new("bad integer"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    /// A snapshot exercising every series kind, labels, and field types.
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::with_journal_capacity(8);
+        let m = reg.handle();
+        let pool = m.with_label("pool", "scvol");
+        pool.add("zpool_ingest_bytes_total", 1 << 20);
+        pool.add("zpool_ddt_hits_total", 7);
+        m.add_with("squirrel_boot_total", &[("node", "0"), ("result", "warm")], 3);
+        m.set_gauge("squirrel_scvol_ddt_entries", 42);
+        m.set_gauge_f64("squirrel_arc_hit_rate", 0.625);
+        let h = pool.histogram("zpool_compressed_block_bytes");
+        for v in [0u64, 3, 900, 900, 70000] {
+            h.observe(v);
+        }
+        m.event(
+            "register",
+            &[
+                ("image", FieldValue::U64(0)),
+                ("tag", FieldValue::Str("vmi-000000-r1".into())),
+                ("seconds", FieldValue::F64(21.5)),
+                ("delta", FieldValue::I64(-3)),
+            ],
+        );
+        m.event("boot", &[("warm", FieldValue::U64(1))]);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_round_trip_preserves_series() {
+        let snap = sample_snapshot();
+        let text = snap.to_prometheus();
+        let back = MetricsSnapshot::from_prometheus(&text).expect("parse");
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms);
+        assert!(back.events.is_empty(), "journal has no Prometheus form");
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let snap = sample_snapshot();
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE zpool_ingest_bytes_total counter"));
+        assert!(text.contains("zpool_ingest_bytes_total{pool=\"scvol\"} 1048576"));
+        assert!(text.contains("squirrel_arc_hit_rate 0.625"));
+        assert!(text
+            .contains("zpool_compressed_block_bytes_bucket{pool=\"scvol\",le=\"+Inf\"} 5"));
+        assert!(text.contains("zpool_compressed_block_bytes_sum{pool=\"scvol\"} 71803"));
+        // Buckets are cumulative.
+        assert!(text
+            .contains("zpool_compressed_block_bytes_bucket{pool=\"scvol\",le=\"1023\"} 4"));
+    }
+
+    #[test]
+    fn accessors_sum_across_label_sets() {
+        let reg = MetricsRegistry::new();
+        let m = reg.handle();
+        m.add_with("boot_total", &[("node", "0")], 2);
+        m.add_with("boot_total", &[("node", "1")], 3);
+        m.add("boot_totals", 100); // different base: must not match
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_sum("boot_total"), 5);
+        assert_eq!(snap.counter_series("boot_total").count(), 2);
+        assert_eq!(snap.counter("boot_total{node=\"1\"}"), Some(3));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.push(("weird{label=\"a\\b\"}".to_string(), 1));
+        snap.events.push(Event {
+            seq: 0,
+            name: "quote\"newline\n".to_string(),
+            fields: vec![("k".into(), FieldValue::Str("\ttab".into()))],
+        });
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(MetricsSnapshot::from_json("{").is_err());
+        assert!(MetricsSnapshot::from_json("not json").is_err());
+        let err = MetricsSnapshot::from_prometheus("lone_sample 5").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(MetricsSnapshot::from_json(&snap.to_json()).expect("json"), snap);
+        assert_eq!(
+            MetricsSnapshot::from_prometheus(&snap.to_prometheus()).expect("prom"),
+            snap
+        );
+    }
+}

@@ -1,6 +1,8 @@
 //! The copy-on-read cache layer (the paper's VMI cache, Figure 1 middle).
 
 use crate::disk::{ReadLog, VirtualDisk};
+use crate::ImageError;
+use squirrel_obs::{Counter, Metrics};
 use std::collections::HashMap;
 
 /// A block-granular copy-on-read cache over a backing layer.
@@ -19,19 +21,38 @@ pub struct CorCache<B: VirtualDisk> {
     pub fetched_bytes: u64,
     /// Number of backing fetches.
     pub fetch_count: u64,
+    fills: Counter,
+    fill_bytes: Counter,
 }
 
 impl<B: VirtualDisk> CorCache<B> {
     pub fn new(backing: B, block_size: usize) -> Self {
-        assert!(block_size.is_power_of_two() && block_size >= 512);
-        CorCache {
+        Self::try_new(backing, block_size).expect("valid block size")
+    }
+
+    /// Fallible [`new`](Self::new): rejects block sizes that are not a
+    /// power of two of at least 512 bytes.
+    pub fn try_new(backing: B, block_size: usize) -> Result<Self, ImageError> {
+        if !block_size.is_power_of_two() || block_size < 512 {
+            return Err(ImageError::BadGranule { bytes: block_size });
+        }
+        Ok(CorCache {
             block_size,
             blocks: HashMap::new(),
             backing,
             log: None,
             fetched_bytes: 0,
             fetch_count: 0,
-        }
+            fills: Counter::default(),
+            fill_bytes: Counter::default(),
+        })
+    }
+
+    /// Attach observability: backing fetches record `cor_fills_total` and
+    /// `cor_fill_bytes_total` on `metrics`.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.fills = metrics.counter("cor_fills_total");
+        self.fill_bytes = metrics.counter("cor_fill_bytes_total");
     }
 
     pub fn block_size(&self) -> usize {
@@ -58,8 +79,20 @@ impl<B: VirtualDisk> CorCache<B> {
 
     /// Install a warmed block (Squirrel's pre-replicated caches).
     pub fn prepopulate(&mut self, block_idx: u64, data: &[u8]) {
-        assert_eq!(data.len(), self.block_size);
+        self.try_prepopulate(block_idx, data).expect("block-sized data")
+    }
+
+    /// Fallible [`prepopulate`](Self::prepopulate): rejects data whose
+    /// length is not exactly one block.
+    pub fn try_prepopulate(&mut self, block_idx: u64, data: &[u8]) -> Result<(), ImageError> {
+        if data.len() != self.block_size {
+            return Err(ImageError::BadBlockLength {
+                expected: self.block_size,
+                got: data.len(),
+            });
+        }
         self.blocks.insert(block_idx, data.to_vec().into_boxed_slice());
+        Ok(())
     }
 
     /// Enable logging of backing fetches.
@@ -108,6 +141,8 @@ impl<B: VirtualDisk> VirtualDisk for CorCache<B> {
                 self.backing.read_at(block * bs, &mut data);
                 self.fetched_bytes += self.block_size as u64;
                 self.fetch_count += 1;
+                self.fills.inc();
+                self.fill_bytes.add(self.block_size as u64);
                 self.blocks.insert(block, data);
             }
             let data = self.blocks.get(&block).expect("just inserted");
@@ -195,6 +230,35 @@ mod tests {
         let blocks = cor.into_blocks();
         assert_eq!(blocks.len(), 2);
         assert!(blocks[0].0 < blocks[1].0);
+    }
+
+    #[test]
+    fn fallible_constructors_report_errors() {
+        assert_eq!(
+            CorCache::try_new(base(1024), 1000).err(),
+            Some(crate::ImageError::BadGranule { bytes: 1000 })
+        );
+        let mut cor = CorCache::new(base(2048), 1024);
+        assert_eq!(
+            cor.try_prepopulate(0, &[1, 2, 3]).unwrap_err(),
+            crate::ImageError::BadBlockLength { expected: 1024, got: 3 }
+        );
+        let e: Box<dyn std::error::Error> =
+            Box::new(crate::ImageError::BadGranule { bytes: 7 });
+        assert_eq!(e.to_string(), "granule of 7 bytes is not a power of two >= 512");
+    }
+
+    #[test]
+    fn metrics_count_backing_fills() {
+        let reg = squirrel_obs::MetricsRegistry::new();
+        let mut cor = CorCache::new(base(4096), 1024);
+        cor.set_metrics(&reg.handle());
+        let mut buf = [0u8; 8];
+        cor.read_at(100, &mut buf); // miss
+        cor.read_at(100, &mut buf); // hit: no fill
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cor_fills_total"), Some(1));
+        assert_eq!(snap.counter("cor_fill_bytes_total"), Some(1024));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The copy-on-write overlay (QCOW2-style, cluster granular).
 
 use crate::disk::{ReadLog, VirtualDisk};
+use crate::ImageError;
+use squirrel_obs::{Counter, Metrics};
 use std::collections::HashMap;
 
 /// Default QCOW2 cluster size: 64 KiB (128 sectors) — the constant the paper
@@ -19,6 +21,9 @@ pub struct CowImage<B: VirtualDisk> {
     backing: B,
     size: u64,
     log: Option<ReadLog>,
+    chain_reads: Counter,
+    chain_read_bytes: Counter,
+    allocs: Counter,
 }
 
 impl<B: VirtualDisk> CowImage<B> {
@@ -28,9 +33,35 @@ impl<B: VirtualDisk> CowImage<B> {
     }
 
     pub fn with_cluster_size(backing: B, cluster_size: usize) -> Self {
-        assert!(cluster_size.is_power_of_two() && cluster_size >= 512);
+        Self::try_with_cluster_size(backing, cluster_size).expect("valid cluster size")
+    }
+
+    /// Fallible [`with_cluster_size`](Self::with_cluster_size): rejects
+    /// cluster sizes that are not a power of two of at least 512 bytes.
+    pub fn try_with_cluster_size(backing: B, cluster_size: usize) -> Result<Self, ImageError> {
+        if !cluster_size.is_power_of_two() || cluster_size < 512 {
+            return Err(ImageError::BadGranule { bytes: cluster_size });
+        }
         let size = backing.len();
-        CowImage { cluster_size, clusters: HashMap::new(), backing, size, log: None }
+        Ok(CowImage {
+            cluster_size,
+            clusters: HashMap::new(),
+            backing,
+            size,
+            log: None,
+            chain_reads: Counter::default(),
+            chain_read_bytes: Counter::default(),
+            allocs: Counter::default(),
+        })
+    }
+
+    /// Attach observability: backing-chain reads record `cow_chain_reads_total`
+    /// / `cow_chain_read_bytes_total`, and CoW allocations record
+    /// `cow_alloc_clusters_total` on `metrics`.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.chain_reads = metrics.counter("cow_chain_reads_total");
+        self.chain_read_bytes = metrics.counter("cow_chain_read_bytes_total");
+        self.allocs = metrics.counter("cow_alloc_clusters_total");
     }
 
     pub fn cluster_size(&self) -> usize {
@@ -78,6 +109,9 @@ impl<B: VirtualDisk> CowImage<B> {
                     log.push((cluster * cs, self.cluster_size as u32));
                 }
                 self.backing.read_at(cluster * cs, &mut buf);
+                self.allocs.inc();
+                self.chain_reads.inc();
+                self.chain_read_bytes.add(self.cluster_size as u64);
                 self.clusters.insert(cluster, buf);
             }
             let buf = self.clusters.get_mut(&cluster).expect("just allocated");
@@ -111,6 +145,8 @@ impl<B: VirtualDisk> VirtualDisk for CowImage<B> {
                         log.push((cluster * cs, self.cluster_size as u32));
                     }
                     self.backing.read_at(cluster * cs, &mut cluster_buf);
+                    self.chain_reads.inc();
+                    self.chain_read_bytes.add(self.cluster_size as u64);
                     buf[pos..pos + take].copy_from_slice(&cluster_buf[within..within + take]);
                 }
             }

@@ -24,3 +24,31 @@ mod disk;
 pub use cor::CorCache;
 pub use cow::CowImage;
 pub use disk::{MemDisk, ReadLog, VirtualDisk, ZeroDisk};
+
+/// Errors from the fallible image-layer constructors and installers
+/// ([`CorCache::try_new`], [`CorCache::try_prepopulate`],
+/// [`CowImage::try_with_cluster_size`]). The panicking variants treat these
+/// as caller bugs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// A block/cluster size that is not a power of two of at least 512 bytes.
+    BadGranule { bytes: usize },
+    /// Prepopulated data whose length is not exactly one block.
+    BadBlockLength { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::BadGranule { bytes } => {
+                write!(f, "granule of {bytes} bytes is not a power of two >= 512")
+            }
+            ImageError::BadBlockLength { expected, got } => {
+                write!(f, "expected a {expected}-byte block, got {got} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}

@@ -10,6 +10,7 @@
 
 use crate::ddt::BlockKey;
 use crate::pool::ZPool;
+use squirrel_obs::{Counter, Metrics};
 use std::collections::HashMap;
 
 /// Cache statistics.
@@ -40,6 +41,9 @@ pub struct ArcCache {
     head: Option<BlockKey>, // most recent
     tail: Option<BlockKey>, // least recent
     stats: ArcStats,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 struct Entry {
@@ -57,7 +61,18 @@ impl ArcCache {
             head: None,
             tail: None,
             stats: ArcStats::default(),
+            hits: Counter::default(),
+            misses: Counter::default(),
+            evictions: Counter::default(),
         }
+    }
+
+    /// Attach observability: hits/misses/evictions additionally accumulate
+    /// into `arc_*_total` counters on `metrics`.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.hits = metrics.counter("arc_hits_total");
+        self.misses = metrics.counter("arc_misses_total");
+        self.evictions = metrics.counter("arc_evictions_total");
     }
 
     pub fn stats(&self) -> ArcStats {
@@ -111,11 +126,13 @@ impl ArcCache {
     pub fn get(&mut self, key: BlockKey) -> Option<&[u8]> {
         if self.entries.contains_key(&key) {
             self.stats.hits += 1;
+            self.hits.inc();
             self.unlink(key);
             self.push_front(key);
             Some(&self.entries[&key].data)
         } else {
             self.stats.misses += 1;
+            self.misses.inc();
             None
         }
     }
@@ -132,6 +149,7 @@ impl ArcCache {
             let e = self.entries.remove(&victim).expect("tail entry");
             self.used_bytes -= e.data.len() as u64;
             self.stats.evictions += 1;
+            self.evictions.inc();
         }
         if size > self.capacity_bytes {
             return; // larger than the whole cache: bypass

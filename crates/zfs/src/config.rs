@@ -3,7 +3,12 @@
 use squirrel_compress::Codec;
 
 /// Configuration of a [`crate::ZPool`].
+///
+/// Construct via [`PoolConfig::builder`], [`PoolConfig::new`], or
+/// [`PoolConfig::paper_default`]; the struct is `#[non_exhaustive]` so new
+/// knobs can be added without breaking downstream crates.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct PoolConfig {
     /// Fixed record size (ZFS `recordsize`); the dedup/compression unit.
     pub block_size: usize,
@@ -27,10 +32,21 @@ pub struct PoolConfig {
     pub threads: usize,
 }
 
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig::paper_default()
+    }
+}
+
 impl PoolConfig {
     /// The paper's production choice: 64 KiB records, gzip-6, dedup on.
     pub fn paper_default() -> Self {
         PoolConfig::new(64 * 1024, Codec::Gzip(6))
+    }
+
+    /// Start a builder seeded with [`PoolConfig::paper_default`].
+    pub fn builder() -> PoolConfigBuilder {
+        PoolConfigBuilder { config: PoolConfig::paper_default() }
     }
 
     /// A pool with the given record size and codec and default accounting
@@ -61,6 +77,59 @@ impl PoolConfig {
     }
 }
 
+/// Builder for [`PoolConfig`]. Setters mirror the config fields; `build`
+/// validates the record size exactly like [`PoolConfig::new`].
+#[derive(Clone, Debug)]
+pub struct PoolConfigBuilder {
+    config: PoolConfig,
+}
+
+impl PoolConfigBuilder {
+    /// Fixed record size; must be a power of two of at least 512 bytes
+    /// (checked in [`build`](Self::build)).
+    pub fn block_size(mut self, block_size: usize) -> Self {
+        self.config.block_size = block_size;
+        self
+    }
+
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.config.codec = codec;
+        self
+    }
+
+    pub fn retain_data(mut self, retain: bool) -> Self {
+        self.config.retain_data = retain;
+        self
+    }
+
+    pub fn ddt_mem_entry_bytes(mut self, bytes: u64) -> Self {
+        self.config.ddt_mem_entry_bytes = bytes;
+        self
+    }
+
+    pub fn ddt_disk_entry_bytes(mut self, bytes: u64) -> Self {
+        self.config.ddt_disk_entry_bytes = bytes;
+        self
+    }
+
+    pub fn bp_disk_bytes(mut self, bytes: u64) -> Self {
+        self.config.bp_disk_bytes = bytes;
+        self
+    }
+
+    /// Ingestion worker threads (`0` = all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    pub fn build(self) -> PoolConfig {
+        let c = self.config;
+        assert!(c.block_size >= 512 && c.block_size.is_power_of_two(), "record size");
+        c
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +157,34 @@ mod tests {
     #[test]
     fn accounting_only_disables_retention() {
         assert!(!PoolConfig::paper_default().accounting_only().retain_data);
+    }
+
+    #[test]
+    fn builder_mirrors_constructors() {
+        let built = PoolConfig::builder()
+            .block_size(4096)
+            .codec(Codec::Lz4)
+            .retain_data(false)
+            .threads(3)
+            .build();
+        assert_eq!(built.block_size, 4096);
+        assert_eq!(built.codec, Codec::Lz4);
+        assert!(!built.retain_data);
+        assert_eq!(built.threads, 3);
+        // Unset knobs keep the paper defaults.
+        assert_eq!(built.ddt_mem_entry_bytes, 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "record size")]
+    fn builder_validates_block_size() {
+        let _ = PoolConfig::builder().block_size(1000).build();
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        let d = PoolConfig::default();
+        assert_eq!(d.block_size, 65536);
+        assert_eq!(d.codec, Codec::Gzip(6));
     }
 }

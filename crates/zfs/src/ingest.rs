@@ -97,7 +97,9 @@ impl ZPool {
 
         // Stage 4 (serial): commit in block order. DDT entries appear in
         // first-occurrence order, so the append-only physical allocator
-        // reproduces the serial layout exactly.
+        // reproduces the serial layout exactly. Metrics are recorded here —
+        // the per-worker results merged in commit order — so the counts are
+        // identical to a serial `write_block` replay at any thread count.
         let bs = cfg.block_size as u64;
         let mut table = FileTable::default();
         for (j, key) in keys.iter().enumerate() {
@@ -105,10 +107,24 @@ impl ZPool {
             if table.ptrs.len() <= idx {
                 table.ptrs.resize(idx + 1, None);
             }
+            self.meters.ingest_blocks.inc();
+            self.meters.ingest_bytes.add(bs);
             if let Some(k) = *key {
+                let existed = self.ddt().get(&k).is_some();
                 self.ddt_mut()
                     .add_ref(k, || frames.remove(&k).expect("frame prepared for new key"));
+                if existed {
+                    self.meters.ddt_hits.inc();
+                } else {
+                    self.meters.ddt_misses.inc();
+                    let psize = self.ddt().get(&k).expect("just added").psize as u64;
+                    self.meters.compress_in_bytes.add(bs);
+                    self.meters.compress_out_bytes.add(psize);
+                    self.meters.compressed_block_bytes.observe(psize);
+                }
                 table.ptrs[idx] = Some(k);
+            } else {
+                self.meters.zero_blocks.inc();
             }
             table.len = table.len.max((idxs[j] + 1) * bs);
         }

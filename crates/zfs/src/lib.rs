@@ -27,13 +27,14 @@ pub mod arc;
 pub mod config;
 pub mod ddt;
 pub mod ingest;
+mod meter;
 pub mod pool;
 pub mod scrub;
 pub mod send;
 pub mod stats;
 
 pub use arc::{ArcCache, ArcStats};
-pub use config::PoolConfig;
+pub use config::{PoolConfig, PoolConfigBuilder};
 pub use ddt::{DdtEntry, DedupTable};
 pub use pool::{BlockRef, ZPool};
 pub use scrub::ScrubReport;

@@ -1,0 +1,47 @@
+//! Interned metric handles for the pool's hot paths.
+//!
+//! All pool metrics are counters and histograms (add-only, commutative), so
+//! parallel ingestion commits and concurrent `recv` calls across replica
+//! pools produce bit-identical registry snapshots at any thread count.
+//! Series carry whatever labels the attached [`Metrics`] handle holds
+//! (conventionally `pool="scvol"` / `pool="ccvol"`).
+
+use squirrel_obs::{Counter, Histogram, Metrics};
+
+pub(crate) struct PoolMeters {
+    pub(crate) ingest_blocks: Counter,
+    pub(crate) ingest_bytes: Counter,
+    pub(crate) zero_blocks: Counter,
+    pub(crate) ddt_hits: Counter,
+    pub(crate) ddt_misses: Counter,
+    pub(crate) compress_in_bytes: Counter,
+    pub(crate) compress_out_bytes: Counter,
+    pub(crate) recv_streams: Counter,
+    pub(crate) recv_wire_bytes: Counter,
+    pub(crate) scrub_blocks: Counter,
+    pub(crate) scrub_bytes: Counter,
+    pub(crate) compressed_block_bytes: Histogram,
+}
+
+impl PoolMeters {
+    pub(crate) fn new(m: &Metrics) -> Self {
+        PoolMeters {
+            ingest_blocks: m.counter("zpool_ingest_blocks_total"),
+            ingest_bytes: m.counter("zpool_ingest_bytes_total"),
+            zero_blocks: m.counter("zpool_zero_blocks_total"),
+            ddt_hits: m.counter("zpool_ddt_hits_total"),
+            ddt_misses: m.counter("zpool_ddt_misses_total"),
+            compress_in_bytes: m.counter("zpool_compress_in_bytes_total"),
+            compress_out_bytes: m.counter("zpool_compress_out_bytes_total"),
+            recv_streams: m.counter("zpool_recv_streams_total"),
+            recv_wire_bytes: m.counter("zpool_recv_wire_bytes_total"),
+            scrub_blocks: m.counter("zpool_scrub_blocks_total"),
+            scrub_bytes: m.counter("zpool_scrub_bytes_total"),
+            compressed_block_bytes: m.histogram("zpool_compressed_block_bytes"),
+        }
+    }
+
+    pub(crate) fn disabled() -> Self {
+        Self::new(&Metrics::disabled())
+    }
+}

@@ -10,9 +10,11 @@
 
 use crate::config::PoolConfig;
 use crate::ddt::{BlockKey, DedupTable};
+use crate::meter::PoolMeters;
 use crate::stats::SpaceStats;
 use squirrel_compress::{compress, decompress};
 use squirrel_hash::ContentHash;
+use squirrel_obs::Metrics;
 use std::collections::BTreeMap;
 
 /// A resolved block pointer: where a file block lives.
@@ -48,11 +50,27 @@ pub struct ZPool {
     files: BTreeMap<String, FileTable>,
     /// Snapshots in creation order.
     snapshots: Vec<Snapshot>,
+    /// Interned observability handles; no-ops until [`ZPool::set_metrics`].
+    pub(crate) meters: PoolMeters,
 }
 
 impl ZPool {
     pub fn new(config: PoolConfig) -> Self {
-        ZPool { config, ddt: DedupTable::new(), files: BTreeMap::new(), snapshots: Vec::new() }
+        ZPool {
+            config,
+            ddt: DedupTable::new(),
+            files: BTreeMap::new(),
+            snapshots: Vec::new(),
+            meters: PoolMeters::disabled(),
+        }
+    }
+
+    /// Attach observability: every ingest/recv/scrub on this pool records
+    /// counters and histograms through `metrics` (label the handle, e.g.
+    /// `pool="scvol"`, before attaching). All pool metrics are add-only, so
+    /// snapshots stay deterministic under parallel ingestion and fan-out.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.meters = PoolMeters::new(metrics);
     }
 
     pub fn config(&self) -> &PoolConfig {
@@ -103,17 +121,30 @@ impl ZPool {
     /// punches a hole.
     pub fn write_block(&mut self, name: &str, block_idx: u64, data: &[u8]) {
         assert_eq!(data.len(), self.config.block_size, "unaligned write");
+        self.meters.ingest_blocks.inc();
+        self.meters.ingest_bytes.add(data.len() as u64);
         let new_key = if squirrel_hash::is_zero_block(data) {
+            self.meters.zero_blocks.inc();
             None
         } else {
             let key = ContentHash::of(data).short();
             let codec = self.config.codec;
             let retain = self.config.retain_data;
+            let existed = self.ddt.get(&key).is_some();
             self.ddt.add_ref(key, || {
                 let frame = compress(codec, data);
                 let psize = frame.len() as u32;
                 (psize, retain.then(|| frame.into_boxed_slice()))
             });
+            if existed {
+                self.meters.ddt_hits.inc();
+            } else {
+                self.meters.ddt_misses.inc();
+                let psize = self.ddt.get(&key).expect("just added").psize as u64;
+                self.meters.compress_in_bytes.add(data.len() as u64);
+                self.meters.compress_out_bytes.add(psize);
+                self.meters.compressed_block_bytes.observe(psize);
+            }
             Some(key)
         };
         let table = self.files.get_mut(name).expect("write to unknown file");

@@ -48,6 +48,8 @@ impl ZPool {
             }
         }
         report.corrupt.sort_unstable();
+        self.meters.scrub_blocks.add(report.blocks_checked);
+        self.meters.scrub_bytes.add(report.bytes_verified);
         report
     }
 

@@ -401,6 +401,8 @@ impl ZPool {
                 return Err(RecvError::MissingBase(base.clone()));
             }
         }
+        self.meters.recv_streams.inc();
+        self.meters.recv_wire_bytes.add(stream.wire_bytes());
 
         // Ingest payload blocks first so pointer installation always finds
         // its targets in the DDT.

@@ -27,11 +27,10 @@ fn main() {
     println!("registering {n} census-shaped images on a {nodes}-node cloud...");
 
     let mut squirrel = Squirrel::new(
-        SquirrelConfig {
-            compute_nodes: nodes,
-            link: LinkKind::QdrInfiniband,
-            ..Default::default()
-        },
+        SquirrelConfig::builder()
+            .compute_nodes(nodes)
+            .link(LinkKind::QdrInfiniband)
+            .build(),
         Arc::clone(&corpus),
     );
 

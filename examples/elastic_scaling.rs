@@ -23,11 +23,10 @@ fn main() {
     // Scenario A: no caches — every node pulls the boot working set of the
     // web-server image from the parallel file system.
     let mut cold = Squirrel::new(
-        SquirrelConfig {
-            compute_nodes: nodes,
-            link: LinkKind::GbE,
-            ..Default::default()
-        },
+        SquirrelConfig::builder()
+            .compute_nodes(nodes)
+            .link(LinkKind::GbE)
+            .build(),
         Arc::clone(&corpus),
     );
     let mut cold_secs = 0.0f64;
@@ -41,11 +40,10 @@ fn main() {
     // Scenario B: Squirrel — the image was registered when it was uploaded,
     // so every node already hoards its cache.
     let mut warm = Squirrel::new(
-        SquirrelConfig {
-            compute_nodes: nodes,
-            link: LinkKind::GbE,
-            ..Default::default()
-        },
+        SquirrelConfig::builder()
+            .compute_nodes(nodes)
+            .link(LinkKind::GbE)
+            .build(),
         Arc::clone(&corpus),
     );
     warm.register(0).expect("register");

@@ -17,7 +17,7 @@ fn main() {
         ..CorpusConfig::azure(4096, 99)
     }));
     let mut sq = Squirrel::new(
-        SquirrelConfig { compute_nodes: 4, gc_window_days: 7, ..Default::default() },
+        SquirrelConfig::builder().compute_nodes(4).gc_window_days(7).build(),
         Arc::clone(&corpus),
     );
 
@@ -49,7 +49,7 @@ fn main() {
         }
         other => panic!("expected incremental catch-up, got {other:?}"),
     }
-    assert!(sq.check_replication());
+    assert!(sq.check_replication().is_consistent());
 
     // Node 2 goes down for longer than the GC window.
     sq.node_offline(2).expect("offline");
@@ -73,6 +73,6 @@ fn main() {
         }
         other => panic!("expected full replication, got {other:?}"),
     }
-    assert!(sq.check_replication());
+    assert!(sq.check_replication().is_consistent());
     println!("\nall {} nodes consistent with the scVolume again", 4);
 }

@@ -30,7 +30,7 @@ fn main() {
     // Bring up a 8-compute-node cloud with Squirrel's default 64 KiB gzip-6
     // cVolumes.
     let mut squirrel = Squirrel::new(
-        SquirrelConfig { compute_nodes: 8, ..Default::default() },
+        SquirrelConfig::builder().compute_nodes(8).build(),
         Arc::clone(&corpus),
     );
 
@@ -68,4 +68,33 @@ fn main() {
         stats.physical_bytes >> 10,
         stats.ddt_memory_bytes >> 10,
     );
+
+    // One snapshot answers the workflow questions: what register put on
+    // the wire, which boots hit the hoard, how big the dedup table is.
+    let snap = squirrel.metrics().snapshot();
+    println!("\nmetrics snapshot:");
+    println!(
+        "  squirrel_register_wire_bytes_total  {}",
+        snap.counter("squirrel_register_wire_bytes_total").unwrap_or(0)
+    );
+    println!(
+        "  squirrel_boot_total{{result=\"warm\"}}   {} across {} nodes",
+        snap.counter_sum("squirrel_boot_total"),
+        8,
+    );
+    println!(
+        "  squirrel_scvol_ddt_entries          {}",
+        snap.gauge_u64("squirrel_scvol_ddt_entries").unwrap_or(0)
+    );
+    println!(
+        "  zpool_recv_streams_total{{ccvol}}     {}",
+        snap.counter("zpool_recv_streams_total{pool=\"ccvol\"}").unwrap_or(0)
+    );
+
+    // Persist the full snapshot (JSON, includes the event journal) for the
+    // acceptance record; the same data renders as Prometheus text.
+    let path = "results/metrics_quickstart.json";
+    let _ = std::fs::create_dir_all("results");
+    std::fs::write(path, snap.to_json()).expect("write metrics json");
+    println!("\nwrote {path} ({} series)", snap.counters.len() + snap.gauges.len());
 }

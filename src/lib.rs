@@ -11,5 +11,6 @@ pub use squirrel_core as core;
 pub use squirrel_curvefit as curvefit;
 pub use squirrel_dataset as dataset;
 pub use squirrel_hash as hash;
+pub use squirrel_obs as obs;
 pub use squirrel_qcow as qcow;
 pub use squirrel_zfs as zfs;

@@ -13,7 +13,7 @@ fn system(images: u32, nodes: u32, seed: u64) -> Squirrel {
         ..CorpusConfig::azure(4096, seed)
     }));
     Squirrel::new(
-        SquirrelConfig { compute_nodes: nodes, block_size: 16 * 1024, ..Default::default() },
+        SquirrelConfig::builder().compute_nodes(nodes).block_size(16 * 1024).build(),
         corpus,
     )
 }
@@ -25,7 +25,7 @@ fn register_boot_deregister_cycle() {
         let r = sq.register(img).expect("register");
         assert_eq!(r.nodes_updated, 4);
     }
-    assert!(sq.check_replication());
+    assert!(sq.check_replication().is_consistent());
 
     // Everything boots warm everywhere with zero network traffic.
     sq.network_mut().reset_ledgers();
@@ -56,7 +56,7 @@ fn cache_contents_survive_the_propagation_pipeline() {
         ..CorpusConfig::azure(4096, 33)
     }));
     let mut sq = Squirrel::new(
-        SquirrelConfig { compute_nodes: 2, block_size: 16 * 1024, ..Default::default() },
+        SquirrelConfig::builder().compute_nodes(2).block_size(16 * 1024).build(),
         Arc::clone(&corpus),
     );
     sq.register(0).expect("register");
@@ -64,7 +64,7 @@ fn cache_contents_survive_the_propagation_pipeline() {
     // Verify warm boots possible on both nodes and replication holds.
     assert!(sq.boot(0, 0).expect("boot").warm);
     assert!(sq.boot(1, 0).expect("boot").warm);
-    assert!(sq.check_replication());
+    assert!(sq.check_replication().is_consistent());
 }
 
 #[test]
@@ -87,7 +87,7 @@ fn interleaved_churn_preserves_replication() {
         sq.node_rejoin(3).expect("rejoin 3"),
         RejoinOutcome::Incremental { .. }
     ));
-    assert!(sq.check_replication(), "all nodes mirror the scVolume");
+    assert!(sq.check_replication().is_consistent(), "all nodes mirror the scVolume");
 
     // The deregistered image's cache must be gone from ccVolumes too (the
     // deletion rode along with the r3 diff).
@@ -121,7 +121,7 @@ fn gc_window_controls_rejoin_strategy() {
         sq.node_rejoin(2).expect("rejoin"),
         RejoinOutcome::FullReplication { .. }
     ));
-    assert!(sq.check_replication());
+    assert!(sq.check_replication().is_consistent());
 }
 
 #[test]

@@ -86,7 +86,7 @@ fn full_system_boot_data_path_verifies_after_churn() {
     // actual bytes through the chain — the strongest end-to-end check.
     let corpus = corpus();
     let mut sq = Squirrel::new(
-        SquirrelConfig { compute_nodes: 3, block_size: 16 * 1024, ..Default::default() },
+        SquirrelConfig::builder().compute_nodes(3).block_size(16 * 1024).build(),
         Arc::clone(&corpus),
     );
     sq.register(0).expect("r0");
@@ -94,11 +94,11 @@ fn full_system_boot_data_path_verifies_after_churn() {
     sq.register(1).expect("r1");
     sq.register(2).expect("r2");
     sq.node_rejoin(2).expect("rejoin");
-    assert!(sq.check_replication());
+    assert!(sq.check_replication().is_consistent());
     for img in 0..3 {
         for node in 0..3 {
-            let (bytes, _) = sq.verify_boot(node, img).expect("verify");
-            assert!(bytes > 0, "node {node} image {img}");
+            let v = sq.verify_boot(node, img).expect("verify");
+            assert!(v.bytes_verified > 0, "node {node} image {img}");
         }
     }
 }

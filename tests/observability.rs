@@ -1,0 +1,105 @@
+//! The observability layer's determinism contract, end to end: the metric
+//! snapshot of a full workflow sequence is bit-identical at any thread
+//! count, and round-trips through both export formats.
+
+use squirrel_repro::core::{Squirrel, SquirrelConfig};
+use squirrel_repro::dataset::{Corpus, CorpusConfig};
+use squirrel_repro::obs::MetricsSnapshot;
+use std::sync::Arc;
+
+/// Register, boot warm and cold, knock a node out, rejoin it, GC, and
+/// measure the ARC — every workflow that records metrics.
+fn run_workflows(threads: usize) -> Squirrel {
+    // Census-head corpus: one dominant family, so consecutive caches share
+    // records (the ARC measurement needs genuine cross-image hits).
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        scale: 1024,
+        ..CorpusConfig::test_corpus(8, 99)
+    }));
+    let mut sq = Squirrel::new(
+        SquirrelConfig::builder()
+            .compute_nodes(4)
+            .block_size(16 * 1024)
+            .threads(threads)
+            .build(),
+        corpus,
+    );
+    sq.register(0).expect("r0");
+    sq.node_offline(3).expect("offline");
+    sq.register(1).expect("r1");
+    for node in 0..3 {
+        sq.boot(node, 0).expect("warm boot");
+    }
+    sq.boot(0, 5).expect("cold boot");
+    sq.node_rejoin(3).expect("rejoin");
+    sq.advance_days(30);
+    sq.register(2).expect("r2");
+    sq.gc();
+    sq.verify_boot(1, 0).expect("verify");
+    sq.measure_arc_hit_rate(0, &[0, 1, 2], 64 << 20).expect("arc");
+    sq
+}
+
+#[test]
+fn snapshots_are_bit_identical_across_thread_counts() {
+    let reference = run_workflows(1).metrics().snapshot();
+    assert!(!reference.counters.is_empty());
+    assert!(!reference.events.is_empty());
+    let reference_json = reference.to_json();
+    for threads in [2, 8] {
+        let snap = run_workflows(threads).metrics().snapshot();
+        assert_eq!(snap, reference, "threads={threads}");
+        assert_eq!(snap.to_json(), reference_json, "threads={threads}");
+    }
+}
+
+#[test]
+fn one_snapshot_answers_the_acceptance_questions() {
+    // One `snapshot()` call after the quickstart workflow must report the
+    // register wire bytes, per-node boot hit/miss counts, DDT size, and
+    // ARC hit rate.
+    let sq = run_workflows(0);
+    let snap = sq.metrics().snapshot();
+    assert!(snap.counter("squirrel_register_wire_bytes_total").expect("wire") > 0);
+    assert_eq!(snap.counter("squirrel_boot_total{node=\"0\",result=\"warm\"}"), Some(1));
+    assert_eq!(snap.counter("squirrel_boot_total{node=\"0\",result=\"cold\"}"), Some(1));
+    assert_eq!(snap.counter("squirrel_boot_total{node=\"2\",result=\"warm\"}"), Some(1));
+    assert!(snap.gauge_u64("squirrel_scvol_ddt_entries").expect("ddt") > 0);
+    let hit_rate = snap.gauge_f64("squirrel_arc_hit_rate").expect("hit rate");
+    assert!((0.0..=1.0).contains(&hit_rate));
+    assert!(hit_rate > 0.0, "cross-image boots must share records");
+}
+
+#[test]
+fn real_system_snapshot_round_trips_through_both_formats() {
+    let snap = run_workflows(0).metrics().snapshot();
+    let json = MetricsSnapshot::from_json(&snap.to_json()).expect("json parse");
+    assert_eq!(json, snap);
+    // Prometheus text carries no journal; everything else survives.
+    let prom = MetricsSnapshot::from_prometheus(&snap.to_prometheus()).expect("prom parse");
+    assert_eq!(prom.counters, snap.counters);
+    assert_eq!(prom.gauges, snap.gauges);
+    assert_eq!(prom.histograms, snap.histograms);
+}
+
+#[test]
+fn disabled_metrics_skip_the_whole_pipeline() {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        n_images: 4,
+        scale: 2048,
+        ..CorpusConfig::azure(2048, 99)
+    }));
+    let mut sq = Squirrel::new(
+        SquirrelConfig::builder()
+            .compute_nodes(2)
+            .block_size(16 * 1024)
+            .metrics(false)
+            .build(),
+        corpus,
+    );
+    sq.register(0).expect("register");
+    sq.boot(1, 0).expect("boot");
+    sq.gc();
+    assert_eq!(sq.metrics().snapshot(), MetricsSnapshot::default());
+    assert!(sq.metrics().wall_times().is_empty());
+}

@@ -42,12 +42,11 @@ fn fresh_system() -> Squirrel {
         ..CorpusConfig::azure(8192, 1234)
     }));
     Squirrel::new(
-        SquirrelConfig {
-            compute_nodes: NODES,
-            block_size: 16 * 1024,
-            gc_window_days: 5,
-            ..Default::default()
-        },
+        SquirrelConfig::builder()
+            .compute_nodes(NODES)
+            .block_size(16 * 1024)
+            .gc_window_days(5)
+            .build(),
         corpus,
     )
 }
@@ -91,14 +90,19 @@ proptest! {
                     sq.node_rejoin(n).expect("rejoin never fails for valid nodes");
                 }
                 Op::AdvanceDays(d) => sq.advance_days(d),
-                Op::Gc => sq.gc(),
+                Op::Gc => {
+                    sq.gc();
+                }
             }
         }
         // Bring everyone back: full consistency must be reachable.
         for n in 0..NODES {
             sq.node_rejoin(n).expect("final rejoin");
         }
-        prop_assert!(sq.check_replication(), "replication must be restorable");
+        prop_assert!(
+            sq.check_replication().is_consistent(),
+            "replication must be restorable"
+        );
     }
 
     /// Registered images always warm-boot on online, in-sync nodes.

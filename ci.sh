@@ -24,4 +24,15 @@ for ex in quickstart node_churn elastic_scaling azure_fleet block_size_tuning; d
     cargo run --release --quiet --example "$ex" > /dev/null
 done
 
+echo "== boot-storm bench smoke (release) =="
+rm -f results/BENCH_bootstorm.json
+cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \
+    bootstorm --images 16 --scale 8192 --seed 7 --threads 2 > /dev/null
+test -f results/BENCH_bootstorm.json
+grep -q '"deterministic_across_threads": true' results/BENCH_bootstorm.json
+# Warm storm served from the shared ARC: hit rate strictly positive, and
+# not a single payload byte copied.
+grep -Eq '"arc_hit_rate": 0\.[0-9]*[1-9]' results/BENCH_bootstorm.json
+grep -q '"payload_bytes_copied": 0,' results/BENCH_bootstorm.json
+
 echo "ci.sh: all checks passed"

@@ -6,21 +6,23 @@
 //!
 //! commands:
 //!   table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13
-//!   fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows all smoke
+//!   fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm all smoke
 //! ```
 //!
 //! Defaults (96 images at 1/512 volume) finish in minutes in release
 //! mode; pass `--images 607 --scale 512` for a fuller run. Every byte
 //! quantity is printed both as measured and as the paper-volume projection.
 
-use squirrel_bench::experiments::{ablations, boottime, extrapolate, network, storage, sweeps, whatif};
+use squirrel_bench::experiments::{
+    ablations, boottime, bootstorm, extrapolate, network, storage, sweeps, whatif,
+};
 use squirrel_bench::ExperimentConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: squirrel-experiments <command> [--images N] [--scale S] [--seed S] [--out DIR] [--threads T]\n\
          commands: table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13\n\
-         \u{20}         fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows all smoke"
+         \u{20}         fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm all smoke"
     );
     std::process::exit(2);
 }
@@ -115,7 +117,11 @@ fn main() {
         "ablation-chunking" => {
             ablations::run_ablation_chunking(&cfg);
         }
+        "bootstorm" => {
+            bootstorm::run_bootstorm(&cfg, bootstorm::STORM_VMS, 3);
+        }
         "all" => {
+            bootstorm::run_bootstorm(&cfg, bootstorm::STORM_VMS, 3);
             sweeps::run_table2(&cfg);
             sweeps::run_table1(&cfg);
             sweeps::run_fig2(&cfg);

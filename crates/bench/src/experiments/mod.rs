@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod boottime;
+pub mod bootstorm;
 pub mod extrapolate;
 pub mod network;
 pub mod storage;

@@ -82,6 +82,30 @@ impl BootSim {
     /// interleaving position).
     pub fn boot_concurrent(&self, traces: &[BootTrace], backend: &Backend) -> Vec<BootReport> {
         let solo: Vec<BootReport> = traces.iter().map(|t| self.boot(t, backend)).collect();
+        self.queue_adjust(solo)
+    }
+
+    /// Parallel [`boot_concurrent`](Self::boot_concurrent): the per-VM trace
+    /// replays fan out over up to `threads` scoped workers (0 = all cores).
+    /// `boot` is pure and the queueing adjustment runs over the in-order
+    /// solo reports, so the result is bit-identical to the serial variant at
+    /// any thread count.
+    pub fn boot_concurrent_par(
+        &self,
+        traces: &[BootTrace],
+        backend: &Backend,
+        threads: usize,
+    ) -> Vec<BootReport> {
+        let solo = squirrel_hash::par::parallel_map(traces, threads, |_i, t| {
+            self.boot(t, backend)
+        });
+        self.queue_adjust(solo)
+    }
+
+    /// Charge each boot the queueing delay of sharing the device with the
+    /// others: half of everyone else's I/O time lands on each boot (the
+    /// fair-share midpoint between no interference and full serialization).
+    fn queue_adjust(&self, solo: Vec<BootReport>) -> Vec<BootReport> {
         let total_io: f64 = solo.iter().map(|r| r.io_seconds).sum();
         solo.into_iter()
             .map(|mut r| {
@@ -426,6 +450,30 @@ mod tests {
             );
             // But far less than 4x serialized boots: CPU work overlaps.
             assert!(r.total_seconds < 4.0 * solo.total_seconds);
+        }
+    }
+
+    #[test]
+    fn concurrent_boot_par_bit_identical_at_any_thread_count() {
+        let sim = BootSim::new();
+        let traces: Vec<_> = (0..6).map(|i| trace(WS + i * 4096)).collect();
+        let serial = sim.boot_concurrent(&traces, &Backend::WarmCacheXfs);
+        for threads in [1usize, 2, 8] {
+            let par = sim.boot_concurrent_par(&traces, &Backend::WarmCacheXfs, threads);
+            assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!(
+                    p.total_seconds.to_bits(),
+                    s.total_seconds.to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(p.io_seconds.to_bits(), s.io_seconds.to_bits());
+                assert_eq!(p.disk_reads, s.disk_reads);
+                assert_eq!(p.disk_bytes, s.disk_bytes);
+                assert_eq!(p.net_bytes, s.net_bytes);
+                assert_eq!(p.ddt_lookups, s.ddt_lookups);
+                assert_eq!(p.decompressed_bytes, s.decompressed_bytes);
+            }
         }
     }
 

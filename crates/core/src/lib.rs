@@ -25,13 +25,17 @@
 //! * [`Squirrel::node_offline`] / [`Squirrel::node_rejoin`] — lagging nodes
 //!   catch up with an incremental stream when their last snapshot is still
 //!   within the window, or fall back to full re-replication (Section 3.5).
+//! * [`Squirrel::boot_storm`] — M concurrent boots of one image, served
+//!   zero-copy from the hoarded ccVolumes through a shard-locked ARC; the
+//!   read phase fans out over worker threads with bit-identical results at
+//!   any thread count.
 
 mod system;
 mod trace;
 
 pub use system::{
-    BootOutcome, BootVerification, EvictReport, GcReport, NodeReplication, RegisterReport,
-    RegistrationInfo, RejoinOutcome, ReplicationReport, Squirrel, SquirrelConfig,
+    BootOutcome, BootStormReport, BootVerification, EvictReport, GcReport, NodeReplication,
+    RegisterReport, RegistrationInfo, RejoinOutcome, ReplicationReport, Squirrel, SquirrelConfig,
     SquirrelConfigBuilder, SquirrelError,
 };
 pub use trace::paper_scale_trace;

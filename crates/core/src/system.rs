@@ -7,8 +7,8 @@ use squirrel_compress::Codec;
 use squirrel_dataset::{Corpus, ImageId};
 use squirrel_obs::{Metrics, MetricsRegistry};
 use squirrel_qcow::{CorCache, VirtualDisk};
-use squirrel_zfs::{PoolConfig, RecvError, SpaceStats, ZPool};
-use std::collections::BTreeMap;
+use squirrel_zfs::{PoolConfig, RecvError, SharedArcCache, SpaceStats, ZPool};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// System configuration; defaults match the paper's deployment.
@@ -271,6 +271,35 @@ pub struct BootVerification {
     /// Blocks the CoR layer had to fetch from the backing image (a warm
     /// cache keeps this at ~zero inside the working set).
     pub backing_fetches: u64,
+}
+
+/// Outcome of [`Squirrel::boot_storm`]: M VMs replay one image's boot
+/// working set concurrently, served zero-copy from the nodes' hoarded
+/// ccVolumes through a shard-locked ARC ([`SharedArcCache`]).
+#[derive(Clone, Debug)]
+pub struct BootStormReport {
+    pub image: ImageId,
+    pub vms: u32,
+    /// Worker threads the concurrent read phase used (`0` = all cores).
+    pub threads: usize,
+    /// VMs served from a warm (hoarded) ccVolume.
+    pub warm_vms: u32,
+    /// VMs that pulled the working set over the network instead.
+    pub cold_vms: u32,
+    /// Working-set blocks each VM read.
+    pub blocks_per_vm: u64,
+    /// Total payload bytes served to all VMs.
+    pub bytes_served: u64,
+    /// Network bytes the cold VMs moved.
+    pub net_bytes: u64,
+    /// Simulated per-boot seconds in VM order (queueing-adjusted per node).
+    pub boot_seconds: Vec<f64>,
+    /// Aggregate shared-ARC statistics over all warm nodes. Every hit is a
+    /// decompression (and copy) avoided.
+    pub arc: squirrel_zfs::ArcStats,
+    /// Content hash over every VM's read bytes, in VM order — the
+    /// determinism witness: bit-identical at any thread count.
+    pub read_checksum: String,
 }
 
 /// Outcome of [`Squirrel::evict_cache`].
@@ -547,25 +576,8 @@ impl Squirrel {
         let warm = n.ccvol.has_file(&name);
 
         if warm {
-            // Derive dedup-backend parameters from the real ccVolume.
-            let stats = n.ccvol.stats();
-            let scale = self.corpus.config().scale;
-            let threshold = 1 + n.ccvol.snapshot_tags().len() as u64;
-            let shared = n
-                .ccvol
-                .file_shared_fraction(&name, threshold)
-                .unwrap_or(0.6);
-            let params = DedupVolumeParams {
-                record_size: self.config.block_size as u64,
-                compressed_fraction: (stats.physical_bytes as f64
-                    / (stats.unique_blocks.max(1) * stats.block_size) as f64)
-                    .clamp(0.05, 1.0),
-                ddt_entries: stats.unique_blocks * scale / self.config.block_size as u64 * 512,
-                pool_physical_bytes: (stats.physical_bytes * scale).max(1),
-                shared_fraction: shared,
-                ..DedupVolumeParams::new(self.config.block_size as u64)
-            };
-            let report = self.sim.boot(&trace, &Backend::DedupVolume(params));
+            let backend = self.warm_backend(&n.ccvol, &name);
+            let report = self.sim.boot(&trace, &backend);
             self.record_boot(node, image, true, 0);
             Ok(BootOutcome { image, node, warm: true, net_bytes: 0, report })
         } else {
@@ -592,6 +604,25 @@ impl Squirrel {
         }
     }
 
+    /// Derive the dedup-backend parameters for a boot served from a warm
+    /// (hoarded) ccVolume, from the pool's real dedup/compression state.
+    fn warm_backend(&self, ccvol: &ZPool, name: &str) -> Backend {
+        let stats = ccvol.stats();
+        let scale = self.corpus.config().scale;
+        let threshold = 1 + ccvol.snapshot_tags().len() as u64;
+        let shared = ccvol.file_shared_fraction(name, threshold).unwrap_or(0.6);
+        Backend::DedupVolume(DedupVolumeParams {
+            record_size: self.config.block_size as u64,
+            compressed_fraction: (stats.physical_bytes as f64
+                / (stats.unique_blocks.max(1) * stats.block_size) as f64)
+                .clamp(0.05, 1.0),
+            ddt_entries: stats.unique_blocks * scale / self.config.block_size as u64 * 512,
+            pool_physical_bytes: (stats.physical_bytes * scale).max(1),
+            shared_fraction: shared,
+            ..DedupVolumeParams::new(self.config.block_size as u64)
+        })
+    }
+
     /// Per-node boot accounting (serial: boots never run concurrently).
     fn record_boot(&self, node: NodeId, image: ImageId, warm: bool, net_bytes: u64) {
         if !self.obs.is_enabled() {
@@ -613,6 +644,185 @@ impl Squirrel {
                 ("net_bytes", net_bytes.into()),
             ],
         );
+    }
+
+    /// Serve a boot storm: `vms` instances of `image` boot at once,
+    /// round-robined over the online compute nodes. Warm nodes serve every
+    /// working-set block zero-copy from their hoarded ccVolume through a
+    /// shard-locked [`SharedArcCache`] (a warm read is a refcount bump on
+    /// the pool's shared payload — `arc_bytes_copied_total` stays zero);
+    /// cold nodes pull the working set over the network first. The read
+    /// phase fans out over `config.threads` workers; read bytes, ARC
+    /// statistics, and metric snapshots are bit-identical at any thread
+    /// count (see [`BootStormReport::read_checksum`]).
+    ///
+    /// Errors: [`SquirrelError::UnknownImage`] for an unknown image;
+    /// [`SquirrelError::NodeOffline`] (reported against node 0) when every
+    /// compute node is offline.
+    pub fn boot_storm(
+        &mut self,
+        image: ImageId,
+        vms: u32,
+    ) -> Result<BootStormReport, SquirrelError> {
+        if (image as usize) >= self.corpus.len() {
+            return Err(SquirrelError::UnknownImage(image));
+        }
+        let online: Vec<usize> =
+            (0..self.nodes.len()).filter(|&i| self.nodes[i].online).collect();
+        if online.is_empty() {
+            return Err(SquirrelError::NodeOffline(0));
+        }
+        let threads = self.config.threads;
+        let bs = self.config.block_size as u64;
+        let name = Self::cache_file_name(image);
+        let mut span = self.obs.span("boot_storm");
+        span.field("image", image);
+        span.field("vms", u64::from(vms));
+
+        // VM i boots on the i-th online node, round-robin.
+        let assignments: Vec<usize> =
+            (0..vms as usize).map(|i| online[i % online.len()]).collect();
+
+        // The working set every VM reads: the boot trace's blocks at
+        // cVolume record granularity — exactly the set registration's
+        // copy-on-read boot captured into the cache file.
+        let trace = self.corpus.image(image).cache().boot_trace();
+        let mut block_set = BTreeSet::new();
+        for op in &trace.ops {
+            if op.len == 0 {
+                continue;
+            }
+            let first = op.offset / bs;
+            let last = (op.offset + op.len as u64 - 1) / bs;
+            block_set.extend(first..=last);
+        }
+        let blocks: Vec<u64> = block_set.into_iter().collect();
+
+        // Cold nodes fetch the working set over the network up front
+        // (serial: the network ledger is single-threaded state).
+        let ws_corpus_scale = self.corpus.image(image).cache().bytes();
+        let mut net_bytes = 0u64;
+        let mut cold_vms = 0u32;
+        for &node in &assignments {
+            if !self.nodes[node].ccvol.has_file(&name) {
+                self.gluster.read(&mut self.net, node as NodeId, 0, ws_corpus_scale);
+                net_bytes += ws_corpus_scale;
+                cold_vms += 1;
+            }
+        }
+        let warm_vms = vms - cold_vms;
+
+        // One shard-locked ARC per warm node. The byte budget splits per
+        // shard, so oversize by the shard count: even a fully skewed key
+        // distribution must never evict — evictions are the one
+        // schedule-dependent statistic (see DESIGN.md's determinism
+        // contract).
+        let ws_bytes = (blocks.len() as u64 * bs).max(bs);
+        let mut caches: BTreeMap<usize, SharedArcCache> = BTreeMap::new();
+        for &node in &assignments {
+            if self.nodes[node].ccvol.has_file(&name) && !caches.contains_key(&node) {
+                let mut cache = SharedArcCache::new(ws_bytes * 16, 16);
+                cache.set_metrics(&self.ccvol_obs);
+                caches.insert(node, cache);
+            }
+        }
+
+        // Concurrent read phase: every VM reads its whole working set. Warm
+        // VMs go through the shared ARC (a hit is a refcount bump on the
+        // one decompressed buffer); cold VMs read the image bytes the
+        // network just delivered. Results come back in VM order, so the
+        // checksum is schedule-independent.
+        let nodes = &self.nodes;
+        let corpus = &self.corpus;
+        let per_vm: Vec<(u64, String)> =
+            squirrel_hash::par::parallel_map(&assignments, threads, |_i, &node| {
+                let mut bytes = Vec::with_capacity(blocks.len() * bs as usize);
+                if let Some(cache) = caches.get(&node) {
+                    for &b in &blocks {
+                        let data = cache
+                            .read_through(&nodes[node].ccvol, &name, b)
+                            .expect("hoarded cache file exists");
+                        bytes.extend_from_slice(&data);
+                    }
+                } else {
+                    let handle = corpus.image(image);
+                    let mut buf = vec![0u8; bs as usize];
+                    for &b in &blocks {
+                        handle.read_at(b * bs, &mut buf);
+                        bytes.extend_from_slice(&buf);
+                    }
+                }
+                (bytes.len() as u64, squirrel_hash::ContentHash::of(&bytes).to_hex())
+            });
+
+        let bytes_served: u64 = per_vm.iter().map(|(n, _)| n).sum();
+        let mut concat = String::new();
+        for (_, hex) in &per_vm {
+            concat.push_str(hex);
+        }
+        let read_checksum = squirrel_hash::ContentHash::of(concat.as_bytes()).to_hex();
+
+        // Timing: VMs sharing a node queue on that node's device; each node
+        // group replays concurrently through the boot simulator.
+        let paper_trace = paper_scale_trace(self.paper_ws_bytes(image), image as u64);
+        let mut by_node: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (vm, &node) in assignments.iter().enumerate() {
+            by_node.entry(node).or_default().push(vm);
+        }
+        let mut boot_seconds = vec![0.0f64; vms as usize];
+        for (&node, vm_ids) in &by_node {
+            let backend = if caches.contains_key(&node) {
+                self.warm_backend(&self.nodes[node].ccvol, &name)
+            } else {
+                Backend::ColdCache {
+                    net_mbps: self.config.link.mbps(),
+                    image_bytes: self.paper_image_bytes(image),
+                }
+            };
+            let traces = vec![paper_trace.clone(); vm_ids.len()];
+            let reports = self.sim.boot_concurrent_par(&traces, &backend, threads);
+            for (&vm, report) in vm_ids.iter().zip(&reports) {
+                boot_seconds[vm] = report.total_seconds;
+            }
+        }
+
+        // Aggregate ARC statistics over the warm nodes. Every hit is a
+        // decompression (and a payload copy) the shared read path avoided.
+        let mut arc = squirrel_zfs::ArcStats::default();
+        for cache in caches.values() {
+            let s = cache.stats();
+            arc.hits += s.hits;
+            arc.misses += s.misses;
+            arc.evictions += s.evictions;
+        }
+
+        // Serial post-phase: record the storm in deterministic VM order.
+        for &s in &boot_seconds {
+            self.obs
+                .observe("squirrel_boot_storm_seconds_ms", (s * 1000.0).round() as u64);
+        }
+        self.obs.add("squirrel_boot_storm_boots_total", u64::from(vms));
+        self.obs.add("squirrel_boot_storm_bytes_total", bytes_served);
+        self.obs.add("squirrel_boot_storm_copies_avoided_total", arc.hits);
+        self.obs.add("squirrel_boot_storm_net_bytes_total", net_bytes);
+        span.field("warm_vms", u64::from(warm_vms));
+        span.field("cold_vms", u64::from(cold_vms));
+        span.field("bytes_served", bytes_served);
+        span.field("read_checksum", read_checksum.as_str());
+
+        Ok(BootStormReport {
+            image,
+            vms,
+            threads,
+            warm_vms,
+            cold_vms,
+            blocks_per_vm: blocks.len() as u64,
+            bytes_served,
+            net_bytes,
+            boot_seconds,
+            arc,
+            read_checksum,
+        })
     }
 
     /// Deregister an image (paper Section 3.4): delete the VMI and its
@@ -789,8 +999,10 @@ impl Squirrel {
         if let Some(len) = n.ccvol.file_len(&name) {
             let blocks = len.div_ceil(bs as u64);
             for b in 0..blocks {
-                let data = n.ccvol.read_block(&name, b).expect("file exists");
-                chain.backing().prepopulate(b, &data);
+                // The decompressed buffer moves into the CoR layer as a
+                // shared payload: one decompression, zero copies.
+                let data = n.ccvol.read_block_shared(&name, b).expect("file exists");
+                chain.backing().prepopulate_shared(b, data);
             }
         }
 
@@ -1229,6 +1441,80 @@ mod tests {
         assert!(sq.boot(0, 0).expect("boot").warm);
         // Idempotent eviction.
         assert!(!sq.evict_cache(1, 0).expect("evict again").was_cached);
+    }
+
+    #[test]
+    fn boot_storm_serves_warm_vms_zero_copy_and_deterministically() {
+        let run = |threads: usize| {
+            let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+            let mut sq = Squirrel::new(
+                SquirrelConfig {
+                    compute_nodes: 4,
+                    block_size: 16 * 1024,
+                    threads,
+                    ..Default::default()
+                },
+                corpus,
+            );
+            sq.register(0).expect("register");
+            let storm = sq.boot_storm(0, 8).expect("storm");
+            assert_eq!((storm.vms, storm.warm_vms, storm.cold_vms), (8, 8, 0));
+            assert_eq!(storm.net_bytes, 0, "warm storm moves nothing");
+            assert!(storm.blocks_per_vm > 0);
+            assert_eq!(storm.bytes_served, 8 * storm.blocks_per_vm * 16 * 1024);
+            assert!(storm.arc.hits > 0, "storm must avoid copies: {:?}", storm.arc);
+            assert_eq!(storm.arc.evictions, 0);
+            let snap = sq.metrics().snapshot();
+            assert_eq!(
+                snap.counter("arc_bytes_copied_total{pool=\"ccvol\"}"),
+                Some(0),
+                "warm storm must not copy payload bytes"
+            );
+            assert_eq!(
+                snap.counter("squirrel_boot_storm_copies_avoided_total"),
+                Some(storm.arc.hits)
+            );
+            let bits: Vec<u64> = storm.boot_seconds.iter().map(|s| s.to_bits()).collect();
+            (storm.read_checksum, storm.bytes_served, storm.arc, bits, snap)
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn boot_storm_mixes_warm_and_cold_nodes() {
+        let mut sq = small_system(3);
+        sq.register(0).expect("register");
+        sq.evict_cache(2, 0).expect("evict");
+        sq.network_mut().reset_ledgers();
+        let storm = sq.boot_storm(0, 6).expect("storm");
+        // Round-robin: VMs 2 and 5 land on the evicted node 2.
+        assert_eq!(storm.warm_vms, 4);
+        assert_eq!(storm.cold_vms, 2);
+        assert!(storm.net_bytes > 0, "cold VMs must cross the network");
+        assert_eq!(sq.network().ledger(2).rx_bytes, storm.net_bytes);
+        assert_eq!(storm.boot_seconds.len(), 6);
+        // Cold boots pay for the network pull; warm boots stay fast.
+        assert!(
+            storm.boot_seconds[2] > storm.boot_seconds[0],
+            "cold {} vs warm {}",
+            storm.boot_seconds[2],
+            storm.boot_seconds[0]
+        );
+    }
+
+    #[test]
+    fn boot_storm_errors_on_unknown_image_and_dead_cluster() {
+        let mut sq = small_system(2);
+        assert!(matches!(
+            sq.boot_storm(999, 4),
+            Err(SquirrelError::UnknownImage(999))
+        ));
+        sq.node_offline(0).expect("offline");
+        sq.node_offline(1).expect("offline");
+        assert!(matches!(sq.boot_storm(0, 1), Err(SquirrelError::NodeOffline(0))));
     }
 
     #[test]

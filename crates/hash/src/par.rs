@@ -56,26 +56,37 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let n = resolve_threads(threads).min(items.len().max(1));
+    parallel_map_indices(items.len(), threads, |i| f(i, &items[i]))
+}
+
+/// Apply `f` to every index in `0..count` across up to `threads` scoped
+/// workers (0 = all cores), results in index order. The index-space variant
+/// of [`parallel_map`] for callers whose work items are *generated* — e.g.
+/// the M VMs of a boot storm — rather than stored in a slice.
+pub fn parallel_map_indices<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = resolve_threads(threads).min(count.max(1));
     if n <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return (0..count).map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
     let parts = run_workers(n, |_w| {
         let mut out: Vec<(usize, R)> = Vec::new();
         loop {
             let start = cursor.fetch_add(GRAB, Ordering::Relaxed);
-            if start >= items.len() {
+            if start >= count {
                 break;
             }
-            let end = (start + GRAB).min(items.len());
-            for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                out.push((i, f(i, item)));
+            for i in start..(start + GRAB).min(count) {
+                out.push((i, f(i)));
             }
         }
         out
     });
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
     for part in parts {
         for (i, r) in part {
             slots[i] = Some(r);
@@ -110,6 +121,15 @@ mod tests {
             let out = parallel_map(&items, threads, |i, &x| x * 2 + i as u64);
             assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn parallel_map_indices_matches_serial() {
+        for threads in [1, 2, 8] {
+            let out = parallel_map_indices(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(parallel_map_indices(0, 8, |i| i).is_empty());
     }
 
     #[test]

@@ -93,6 +93,13 @@ impl<B: VirtualDisk> CowImage<B> {
         &mut self.backing
     }
 
+    /// Consume the overlay and return the backing layer — how the
+    /// boot-storm driver reaches the CoR cache underneath a finished boot
+    /// chain (to drain or inspect it) without copying its blocks.
+    pub fn into_backing(self) -> B {
+        self.backing
+    }
+
     /// Write `data` at `offset`, allocating clusters copy-on-write.
     pub fn write_at(&mut self, offset: u64, data: &[u8]) {
         let cs = self.cluster_size as u64;
@@ -226,6 +233,16 @@ mod tests {
     fn default_cluster_size_is_qcow2s() {
         let cow = CowImage::new(base(1024));
         assert_eq!(cow.cluster_size(), 65536);
+    }
+
+    #[test]
+    fn into_backing_returns_the_layer_below() {
+        let mut cow = CowImage::with_cluster_size(base(4096), 1024);
+        cow.write_at(0, &[1u8; 4]); // private; backing untouched
+        let mut backing = cow.into_backing();
+        let mut buf = [0u8; 1];
+        backing.read_at(0, &mut buf);
+        assert_eq!(buf[0], 0, "CoW write never reached the backing");
     }
 
     #[test]

@@ -53,6 +53,42 @@ impl VirtualDisk for ZeroDisk {
     }
 }
 
+/// An immutable in-memory disk over a shared buffer. Cloning is a refcount
+/// bump, so M concurrently booting VMs can layer their private CoW/CoR
+/// chains over the *same* base-image bytes without M copies — the
+/// boot-storm driver's base layer.
+#[derive(Clone, Debug)]
+pub struct SharedDisk {
+    data: std::sync::Arc<[u8]>,
+}
+
+impl SharedDisk {
+    pub fn new(data: impl Into<std::sync::Arc<[u8]>>) -> Self {
+        SharedDisk { data: data.into() }
+    }
+
+    /// The shared buffer itself.
+    pub fn payload(&self) -> std::sync::Arc<[u8]> {
+        std::sync::Arc::clone(&self.data)
+    }
+}
+
+impl VirtualDisk for SharedDisk {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) {
+        buf.fill(0);
+        let n = self.data.len() as u64;
+        if offset >= n {
+            return;
+        }
+        let end = (offset + buf.len() as u64).min(n);
+        buf[..(end - offset) as usize].copy_from_slice(&self.data[offset as usize..end as usize]);
+    }
+
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
 /// An in-memory disk, optionally logging the reads it receives.
 #[derive(Clone, Debug, Default)]
 pub struct MemDisk {
@@ -125,6 +161,20 @@ mod tests {
         d.read_at(32, &mut buf);
         assert_eq!(d.take_log(), vec![(0, 16), (32, 16)]);
         assert!(d.take_log().is_empty(), "log drained");
+    }
+
+    #[test]
+    fn shared_disk_clones_share_one_buffer() {
+        let base = SharedDisk::new(vec![7u8; 64]);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        assert!(std::sync::Arc::ptr_eq(&a.payload(), &b.payload()));
+        let mut buf = [0u8; 4];
+        a.read_at(0, &mut buf);
+        assert_eq!(buf, [7; 4]);
+        b.read_at(62, &mut buf);
+        assert_eq!(buf, [7, 7, 0, 0], "tail reads are zero-padded");
+        assert_eq!(base.len(), 64);
     }
 
     #[test]

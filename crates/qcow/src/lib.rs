@@ -23,7 +23,7 @@ mod disk;
 
 pub use cor::CorCache;
 pub use cow::CowImage;
-pub use disk::{MemDisk, ReadLog, VirtualDisk, ZeroDisk};
+pub use disk::{MemDisk, ReadLog, SharedDisk, VirtualDisk, ZeroDisk};
 
 /// Errors from the fallible image-layer constructors and installers
 /// ([`CorCache::try_new`], [`CorCache::try_prepopulate`],

@@ -8,10 +8,11 @@
 //! reproduction measures, a plain LRU with byte accounting suffices and is
 //! documented as such.
 
-use crate::ddt::BlockKey;
+use crate::ddt::{BlockKey, SharedPayload};
 use crate::pool::ZPool;
 use squirrel_obs::{Counter, Metrics};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Cache statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,10 +45,14 @@ pub struct ArcCache {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    bytes_copied: Counter,
 }
 
 struct Entry {
-    data: Box<[u8]>,
+    /// Shared with the pool's decompression output (and any other reader
+    /// holding the block): a cache hit hands out another reference, the
+    /// bytes themselves are never duplicated.
+    data: SharedPayload,
     prev: Option<BlockKey>,
     next: Option<BlockKey>,
 }
@@ -64,15 +69,19 @@ impl ArcCache {
             hits: Counter::default(),
             misses: Counter::default(),
             evictions: Counter::default(),
+            bytes_copied: Counter::default(),
         }
     }
 
     /// Attach observability: hits/misses/evictions additionally accumulate
-    /// into `arc_*_total` counters on `metrics`.
+    /// into `arc_*_total` counters on `metrics`. `arc_bytes_copied_total`
+    /// charges every payload byte the cache duplicates — the shared-payload
+    /// read path keeps it at zero (regression-tested).
     pub fn set_metrics(&mut self, metrics: &Metrics) {
         self.hits = metrics.counter("arc_hits_total");
         self.misses = metrics.counter("arc_misses_total");
         self.evictions = metrics.counter("arc_evictions_total");
+        self.bytes_copied = metrics.counter("arc_bytes_copied_total");
     }
 
     pub fn stats(&self) -> ArcStats {
@@ -122,8 +131,10 @@ impl ArcCache {
         }
     }
 
-    /// Get a record, moving it to the front on hit.
-    pub fn get(&mut self, key: BlockKey) -> Option<&[u8]> {
+    /// Get a record, moving it to the front on hit. The returned reference
+    /// points at the shared payload; clone the `Arc` (a refcount bump) to
+    /// keep it past the borrow.
+    pub fn get(&mut self, key: BlockKey) -> Option<&SharedPayload> {
         if self.entries.contains_key(&key) {
             self.stats.hits += 1;
             self.hits.inc();
@@ -138,7 +149,9 @@ impl ArcCache {
     }
 
     /// Insert a record (no-op if present), evicting LRU entries to fit.
-    pub fn insert(&mut self, key: BlockKey, data: Box<[u8]>) {
+    /// Takes ownership of a payload reference: the caller's buffer is
+    /// shared, not copied.
+    pub fn insert(&mut self, key: BlockKey, data: SharedPayload) {
         if self.entries.contains_key(&key) {
             return;
         }
@@ -161,26 +174,46 @@ impl ArcCache {
 
     /// Read a block through the cache: hit serves from memory, miss reads
     /// (and decompresses) from the pool and caches the result. Returns
-    /// `None` when the file does not exist. Holes bypass the cache (they
-    /// cost nothing to materialize).
+    /// `None` when the file does not exist. Holes bypass the cache and are
+    /// served as the pool's shared zero block (they cost nothing to
+    /// materialize).
+    ///
+    /// Zero-copy on both paths: a hit hands out another reference to the
+    /// cached payload, a miss caches the very buffer the pool's
+    /// decompression just produced. No payload bytes are duplicated
+    /// (see `arc_bytes_copied_total`).
     pub fn read_through(
         &mut self,
         pool: &ZPool,
         file: &str,
         block_idx: u64,
-    ) -> Option<Vec<u8>> {
-        let refs = pool.block_refs(file)?;
-        match refs.get(block_idx as usize).copied().flatten() {
-            None => Some(vec![0u8; pool.block_size()]),
+    ) -> Option<SharedPayload> {
+        match pool.block_ref(file, block_idx)? {
+            None => Some(pool.zero_block_shared()),
             Some(r) => {
                 if let Some(data) = self.get(r.key) {
-                    return Some(data.to_vec());
+                    return Some(Arc::clone(data));
                 }
-                let data = pool.read_block(file, block_idx)?;
-                self.insert(r.key, data.clone().into_boxed_slice());
+                let data = pool.read_block_shared(file, block_idx)?;
+                self.insert(r.key, Arc::clone(&data));
                 Some(data)
             }
         }
+    }
+
+    /// Legacy copying read for callers that need an owned, mutable buffer.
+    /// This is the only ARC path that duplicates payload bytes; every copy
+    /// is charged to `arc_bytes_copied_total` so tests can assert the hot
+    /// path performs none.
+    pub fn read_through_owned(
+        &mut self,
+        pool: &ZPool,
+        file: &str,
+        block_idx: u64,
+    ) -> Option<Vec<u8>> {
+        let data = self.read_through(pool, file, block_idx)?;
+        self.bytes_copied.add(data.len() as u64);
+        Some(data.to_vec())
     }
 }
 
@@ -190,14 +223,14 @@ mod tests {
     use crate::config::PoolConfig;
     use squirrel_compress::Codec;
 
-    fn boxed(fill: u8, n: usize) -> Box<[u8]> {
-        vec![fill; n].into_boxed_slice()
+    fn shared(fill: u8, n: usize) -> SharedPayload {
+        vec![fill; n].into()
     }
 
     #[test]
     fn hit_after_insert() {
         let mut arc = ArcCache::new(1024);
-        arc.insert(1, boxed(7, 100));
+        arc.insert(1, shared(7, 100));
         assert_eq!(arc.get(1).map(|d| d[0]), Some(7));
         assert_eq!(arc.stats().hits, 1);
         assert_eq!(arc.used_bytes(), 100);
@@ -206,11 +239,11 @@ mod tests {
     #[test]
     fn lru_eviction_order() {
         let mut arc = ArcCache::new(250);
-        arc.insert(1, boxed(1, 100));
-        arc.insert(2, boxed(2, 100));
+        arc.insert(1, shared(1, 100));
+        arc.insert(2, shared(2, 100));
         // Touch 1 so 2 becomes LRU.
         assert!(arc.get(1).is_some());
-        arc.insert(3, boxed(3, 100)); // evicts 2
+        arc.insert(3, shared(3, 100)); // evicts 2
         assert!(arc.get(2).is_none());
         assert!(arc.get(1).is_some());
         assert!(arc.get(3).is_some());
@@ -220,7 +253,7 @@ mod tests {
     #[test]
     fn oversized_record_bypasses() {
         let mut arc = ArcCache::new(50);
-        arc.insert(1, boxed(1, 100));
+        arc.insert(1, shared(1, 100));
         assert!(arc.is_empty());
         assert_eq!(arc.used_bytes(), 0);
     }
@@ -228,8 +261,8 @@ mod tests {
     #[test]
     fn duplicate_insert_is_noop() {
         let mut arc = ArcCache::new(1000);
-        arc.insert(1, boxed(1, 100));
-        arc.insert(1, boxed(9, 100));
+        arc.insert(1, shared(1, 100));
+        arc.insert(1, shared(9, 100));
         assert_eq!(arc.get(1).map(|d| d[0]), Some(1), "first contents kept");
         assert_eq!(arc.used_bytes(), 100);
     }
@@ -238,7 +271,7 @@ mod tests {
     fn eviction_chain_under_pressure() {
         let mut arc = ArcCache::new(300);
         for k in 0..10u128 {
-            arc.insert(k, boxed(k as u8, 100));
+            arc.insert(k, shared(k as u8, 100));
         }
         assert_eq!(arc.len(), 3);
         assert_eq!(arc.used_bytes(), 300);
@@ -263,8 +296,42 @@ mod tests {
         assert_eq!(arc.stats().misses, 1);
         // Holes are served as zeros without caching.
         let hole = arc.read_through(&pool, "f", 2).expect("file");
-        assert_eq!(hole, vec![0u8; 512]);
+        assert_eq!(&hole[..], &[0u8; 512][..]);
         assert!(arc.read_through(&pool, "missing", 0).is_none());
+    }
+
+    /// Regression test for the double-copy bug: a hit used to `to_vec()` and
+    /// a miss used to `clone()` before insert. With shared payloads the warm
+    /// read is the *same allocation* as the cached entry (`Arc::ptr_eq`) and
+    /// `arc_bytes_copied_total` stays zero; only the legacy owned accessor
+    /// copies.
+    #[test]
+    fn read_through_copies_zero_payload_bytes() {
+        let registry = squirrel_obs::MetricsRegistry::new();
+        let mut pool = ZPool::new(PoolConfig::new(512, Codec::Lz4));
+        pool.create_file("f");
+        pool.write_block("f", 0, &[7u8; 512]);
+        let mut arc = ArcCache::new(1 << 20);
+        arc.set_metrics(&registry.handle());
+
+        let miss = arc.read_through(&pool, "f", 0).expect("file");
+        let hit = arc.read_through(&pool, "f", 0).expect("file");
+        // Both reads alias the single cached buffer: no bytes duplicated.
+        assert!(Arc::ptr_eq(&miss, &hit));
+        assert!(Arc::ptr_eq(&miss, &arc.entries[&pool.block_ref("f", 0).unwrap().unwrap().key].data));
+        assert_eq!(registry.snapshot().counter("arc_bytes_copied_total"), Some(0));
+
+        // Hole reads alias the pool's shared zero block.
+        let z1 = arc.read_through(&pool, "f", 9).expect("hole");
+        let z2 = pool.zero_block_shared();
+        assert!(Arc::ptr_eq(&z1, &z2));
+        assert_eq!(registry.snapshot().counter("arc_bytes_copied_total"), Some(0));
+
+        // The legacy owned accessor is the only copying path, and it pays
+        // the counter.
+        let owned = arc.read_through_owned(&pool, "f", 0).expect("file");
+        assert_eq!(owned, vec![7u8; 512]);
+        assert_eq!(registry.snapshot().counter("arc_bytes_copied_total"), Some(512));
     }
 
     #[test]
@@ -302,7 +369,7 @@ mod proptests {
                 if is_get {
                     let _ = arc.get(key);
                 } else {
-                    arc.insert(key, vec![0u8; size].into_boxed_slice());
+                    arc.insert(key, vec![0u8; size].into());
                 }
                 prop_assert!(arc.used_bytes() <= 500);
                 // Recompute used bytes from entries for consistency.

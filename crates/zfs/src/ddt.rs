@@ -7,9 +7,18 @@
 //! Figures 9, 10 and 13.
 
 use squirrel_hash::FnvHashMap;
+use std::sync::Arc;
 
 /// Key type: the first 128 bits of the block's SHA-256.
 pub type BlockKey = u128;
+
+/// A shared, immutable block payload. Every consumer of a block's bytes —
+/// the DDT entry itself, ARC cache entries, copy-on-read cache blocks, and
+/// send-stream payloads — holds a reference to the *same* buffer, so a warm
+/// read or a stream build is a refcount bump, never a copy. The one copy in
+/// a payload's life is its birth (`Vec` → `Arc<[u8]>` after the single
+/// compress or decompress that produced it), on the cold path.
+pub type SharedPayload = Arc<[u8]>;
 
 /// One unique block's directory entry.
 #[derive(Clone, Debug)]
@@ -21,7 +30,7 @@ pub struct DdtEntry {
     /// Physical byte offset on the (modelled) disk.
     pub phys: u64,
     /// Compressed payload, present when the pool retains data.
-    pub data: Option<Box<[u8]>>,
+    pub data: Option<SharedPayload>,
 }
 
 /// The dedup table proper.
@@ -65,7 +74,11 @@ impl DedupTable {
     /// Add one reference to `key`, inserting a fresh entry (with `psize` and
     /// optional payload produced by `make`) when the block is new. Returns
     /// `true` when the block was new.
-    pub fn add_ref(&mut self, key: BlockKey, make: impl FnOnce() -> (u32, Option<Box<[u8]>>)) -> bool {
+    pub fn add_ref(
+        &mut self,
+        key: BlockKey,
+        make: impl FnOnce() -> (u32, Option<SharedPayload>),
+    ) -> bool {
         match self.entries.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut o) => {
                 o.get_mut().refcount += 1;
@@ -114,8 +127,8 @@ impl DedupTable {
 mod tests {
     use super::*;
 
-    fn payload(n: u32) -> impl FnOnce() -> (u32, Option<Box<[u8]>>) {
-        move || (n, Some(vec![0xabu8; n as usize].into_boxed_slice()))
+    fn payload(n: u32) -> impl FnOnce() -> (u32, Option<SharedPayload>) {
+        move || (n, Some(vec![0xabu8; n as usize].into()))
     }
 
     #[test]

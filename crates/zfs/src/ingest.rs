@@ -16,14 +16,15 @@
 //! exactly once per batch-new unique block, mirroring the serial path's
 //! lazy `add_ref` closure.
 
-use crate::ddt::BlockKey;
+use crate::ddt::{BlockKey, SharedPayload};
 use crate::pool::{FileTable, ZPool};
 use squirrel_compress::compress;
 use squirrel_hash::{is_zero_block, par, ContentHash, FnvHashMap, FnvHashSet};
+use std::sync::Arc;
 
 /// A prepared DDT payload: compressed size plus the frame itself (absent in
 /// accounting-only pools) — exactly what `DedupTable::add_ref` consumes.
-type PreparedFrame = (u32, Option<Box<[u8]>>);
+type PreparedFrame = (u32, Option<SharedPayload>);
 
 impl ZPool {
     /// Parallel counterpart of [`ZPool::import_file`]: import `blocks` as
@@ -41,12 +42,14 @@ impl ZPool {
     /// path's copy-on-read cache shape). Indices must be strictly
     /// increasing; unmentioned indices become holes. The logical length is
     /// block-granular, matching a serial [`ZPool::write_block`] replay.
-    pub fn import_blocks_parallel(&mut self, name: &str, blocks: &[(u64, Box<[u8]>)]) {
+    /// Generic over the payload container so both owned (`Box<[u8]>`,
+    /// `Vec<u8>`) and shared (`Arc<[u8]>`) blocks import without copying.
+    pub fn import_blocks_parallel<B: AsRef<[u8]>>(&mut self, name: &str, blocks: &[(u64, B)]) {
         debug_assert!(
             blocks.windows(2).all(|w| w[0].0 < w[1].0),
             "sparse import requires strictly increasing block indices"
         );
-        let data: Vec<&[u8]> = blocks.iter().map(|(_, d)| &d[..]).collect();
+        let data: Vec<&[u8]> = blocks.iter().map(|(_, d)| d.as_ref()).collect();
         let idxs: Vec<u64> = blocks.iter().map(|(i, _)| *i).collect();
         self.ingest(name, &idxs, &data, None);
     }
@@ -91,7 +94,7 @@ impl ZPool {
             par::parallel_map(&new_unique, cfg.threads, |_j, &(k, rep)| {
                 let frame = compress(cfg.codec, data[rep]);
                 let psize = frame.len() as u32;
-                (k, (psize, cfg.retain_data.then(|| frame.into_boxed_slice())))
+                (k, (psize, cfg.retain_data.then(|| frame.into())))
             });
         let mut frames: FnvHashMap<BlockKey, PreparedFrame> = prepared.into_iter().collect();
 
@@ -101,11 +104,12 @@ impl ZPool {
         // the per-worker results merged in commit order — so the counts are
         // identical to a serial `write_block` replay at any thread count.
         let bs = cfg.block_size as u64;
-        let mut table = FileTable::default();
+        let mut ptrs: Vec<Option<BlockKey>> = Vec::new();
+        let mut len = 0u64;
         for (j, key) in keys.iter().enumerate() {
             let idx = idxs[j] as usize;
-            if table.ptrs.len() <= idx {
-                table.ptrs.resize(idx + 1, None);
+            if ptrs.len() <= idx {
+                ptrs.resize(idx + 1, None);
             }
             self.meters.ingest_blocks.inc();
             self.meters.ingest_bytes.add(bs);
@@ -122,16 +126,17 @@ impl ZPool {
                     self.meters.compress_out_bytes.add(psize);
                     self.meters.compressed_block_bytes.observe(psize);
                 }
-                table.ptrs[idx] = Some(k);
+                ptrs[idx] = Some(k);
             } else {
                 self.meters.zero_blocks.inc();
             }
-            table.len = table.len.max((idxs[j] + 1) * bs);
+            len = len.max((idxs[j] + 1) * bs);
         }
-        if let Some(len) = logical_len {
-            table.len = len;
+        if let Some(l) = logical_len {
+            len = l;
         }
-        self.files_mut().insert(name.to_string(), table);
+        self.files_mut()
+            .insert(name.to_string(), FileTable { ptrs: Arc::new(ptrs), len });
     }
 }
 

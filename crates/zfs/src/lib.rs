@@ -18,6 +18,11 @@
 //!   into a pure prepare phase (zero-scan, hash, compress) that fans out
 //!   over std scoped threads and an in-order serial commit, bit-identical
 //!   to the serial write path at any thread count.
+//! * **Zero-copy read path** ([`arc`], [`sharedarc`]) — payloads are shared
+//!   immutable `Arc<[u8]>` buffers ([`SharedPayload`]) decompressed at most
+//!   once per cache residency; warm reads are refcount bumps, and the
+//!   shard-locked [`SharedArcCache`] serves any number of concurrent
+//!   boot-storm readers with bit-identical bytes and statistics.
 //! * **Physical layout** — unique blocks are allocated sequentially in
 //!   arrival order, so logically adjacent blocks of a deduplicated file end
 //!   up scattered; the boot simulator reads this layout to reproduce the
@@ -31,12 +36,14 @@ mod meter;
 pub mod pool;
 pub mod scrub;
 pub mod send;
+pub mod sharedarc;
 pub mod stats;
 
 pub use arc::{ArcCache, ArcStats};
 pub use config::{PoolConfig, PoolConfigBuilder};
-pub use ddt::{DdtEntry, DedupTable};
+pub use ddt::{DdtEntry, DedupTable, SharedPayload};
 pub use pool::{BlockRef, ZPool};
 pub use scrub::ScrubReport;
 pub use send::{DecodeError, RecvError, SendStream};
+pub use sharedarc::SharedArcCache;
 pub use stats::SpaceStats;

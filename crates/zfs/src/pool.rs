@@ -9,13 +9,14 @@
 //! blocks nothing else uses.
 
 use crate::config::PoolConfig;
-use crate::ddt::{BlockKey, DedupTable};
+use crate::ddt::{BlockKey, DedupTable, SharedPayload};
 use crate::meter::PoolMeters;
 use crate::stats::SpaceStats;
 use squirrel_compress::{compress, decompress};
 use squirrel_hash::ContentHash;
 use squirrel_obs::Metrics;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A resolved block pointer: where a file block lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,11 +28,15 @@ pub struct BlockRef {
     pub psize: u32,
 }
 
-/// Per-file block-pointer table.
+/// Per-file block-pointer table. The pointer vector sits behind an `Arc` so
+/// snapshots and send-stream metadata share it: cloning a table (every
+/// snapshot clones the whole file map) is a refcount bump, and the
+/// copy-on-write `Arc::make_mut` in [`ZPool::write_block`] only materializes
+/// a private vector when a shared table is actually modified.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub(crate) struct FileTable {
     /// `None` = hole (zero block).
-    pub(crate) ptrs: Vec<Option<BlockKey>>,
+    pub(crate) ptrs: Arc<Vec<Option<BlockKey>>>,
     /// Logical file length in bytes.
     pub(crate) len: u64,
 }
@@ -50,6 +55,9 @@ pub struct ZPool {
     files: BTreeMap<String, FileTable>,
     /// Snapshots in creation order.
     snapshots: Vec<Snapshot>,
+    /// One shared all-zero block: every hole read returns a reference to
+    /// this buffer instead of materializing fresh zeros.
+    zero_block: SharedPayload,
     /// Interned observability handles; no-ops until [`ZPool::set_metrics`].
     pub(crate) meters: PoolMeters,
 }
@@ -61,6 +69,7 @@ impl ZPool {
             ddt: DedupTable::new(),
             files: BTreeMap::new(),
             snapshots: Vec::new(),
+            zero_block: vec![0u8; config.block_size].into(),
             meters: PoolMeters::disabled(),
         }
     }
@@ -110,7 +119,7 @@ impl ZPool {
     /// blocks until destroyed).
     pub fn delete_file(&mut self, name: &str) {
         if let Some(table) = self.files.remove(name) {
-            for key in table.ptrs.into_iter().flatten() {
+            for key in table.ptrs.iter().copied().flatten() {
                 self.ddt.release(&key);
             }
         }
@@ -134,7 +143,7 @@ impl ZPool {
             self.ddt.add_ref(key, || {
                 let frame = compress(codec, data);
                 let psize = frame.len() as u32;
-                (psize, retain.then(|| frame.into_boxed_slice()))
+                (psize, retain.then(|| frame.into()))
             });
             if existed {
                 self.meters.ddt_hits.inc();
@@ -148,10 +157,14 @@ impl ZPool {
             Some(key)
         };
         let table = self.files.get_mut(name).expect("write to unknown file");
-        if table.ptrs.len() <= block_idx as usize {
-            table.ptrs.resize(block_idx as usize + 1, None);
+        // Copy-on-write: snapshots share the pointer vector; the first write
+        // after a snapshot materializes a private copy, later writes mutate
+        // it in place.
+        let ptrs = Arc::make_mut(&mut table.ptrs);
+        if ptrs.len() <= block_idx as usize {
+            ptrs.resize(block_idx as usize + 1, None);
         }
-        let old = std::mem::replace(&mut table.ptrs[block_idx as usize], new_key);
+        let old = std::mem::replace(&mut ptrs[block_idx as usize], new_key);
         table.len = table.len.max((block_idx + 1) * self.config.block_size as u64);
         if let Some(old_key) = old {
             self.ddt.release(&old_key);
@@ -171,6 +184,40 @@ impl ZPool {
                 Some(decompress(frame, bs))
             }
         }
+    }
+
+    /// [`read_block`](Self::read_block) returning a shared payload: holes
+    /// hand out the pool's one zero block (a refcount bump), data blocks
+    /// decompress once into a buffer that caches and callers then share.
+    /// This is the fill path of [`crate::ArcCache`] and
+    /// [`crate::SharedArcCache`].
+    pub fn read_block_shared(&self, name: &str, block_idx: u64) -> Option<SharedPayload> {
+        let table = self.files.get(name)?;
+        match table.ptrs.get(block_idx as usize).copied().flatten() {
+            None => Some(Arc::clone(&self.zero_block)),
+            Some(key) => {
+                let entry = self.ddt.get(&key).expect("dangling block pointer");
+                let frame = entry.data.as_ref().expect("read from accounting-only pool");
+                Some(decompress(frame, self.config.block_size).into())
+            }
+        }
+    }
+
+    /// The pool's shared all-zero block (what hole reads return).
+    pub fn zero_block_shared(&self) -> SharedPayload {
+        Arc::clone(&self.zero_block)
+    }
+
+    /// Resolve one block pointer of `name`. Outer `None` = no such file;
+    /// inner `None` = hole (including unwritten space past the table, which
+    /// reads as zeros). Unlike [`block_refs`](Self::block_refs), this does
+    /// not materialize the whole table — the read caches call it per block.
+    pub fn block_ref(&self, name: &str, block_idx: u64) -> Option<Option<BlockRef>> {
+        let table = self.files.get(name)?;
+        Some(table.ptrs.get(block_idx as usize).copied().flatten().map(|key| {
+            let e = self.ddt.get(&key).expect("dangling block pointer");
+            BlockRef { key, phys: e.phys, psize: e.psize }
+        }))
     }
 
     /// Import a whole file from an iterator of `block_size` blocks.

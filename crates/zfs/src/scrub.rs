@@ -70,7 +70,7 @@ impl ZPool {
         }
         let frame = compress(codec, &garbage);
         entry.psize = frame.len() as u32;
-        entry.data = Some(frame.into_boxed_slice());
+        entry.data = Some(frame.into());
         true
     }
 }

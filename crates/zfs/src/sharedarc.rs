@@ -1,0 +1,232 @@
+//! A concurrency-safe, shard-locked ARC for boot storms.
+//!
+//! [`ArcCache`] needs `&mut self`; during a boot storm N booting VMs hammer
+//! one ccVolume's cache simultaneously, so [`SharedArcCache`] wraps a set of
+//! `Mutex<ArcCache>` shards keyed by block key. `read_through` takes `&self`
+//! and can be called from any number of `squirrel_hash::par` workers at
+//! once; each block key always maps to the same shard, so a given block is
+//! decompressed at most once per residency (the fill happens under the
+//! shard lock — single-flight per key).
+//!
+//! Determinism: payload bytes returned are bit-identical to the serial
+//! [`ArcCache`] path at any thread count (both alias the pool's shared
+//! payloads). Aggregate counters (`reads`, `fills`) are additive and
+//! commute, so metric snapshots are thread-count-invariant as long as the
+//! cache never evicts — size the cache at or above the working set, as the
+//! boot-storm bench does. Per-shard LRU order is the only schedule-dependent
+//! state, and it is deliberately not exposed.
+
+use crate::arc::{ArcCache, ArcStats};
+use crate::ddt::{BlockKey, SharedPayload};
+use crate::pool::ZPool;
+use squirrel_obs::{Counter, Metrics};
+use std::sync::{Arc, Mutex};
+
+/// Shard-locked ARC: interior mutability over [`ArcCache`] shards so
+/// concurrent readers only contend when their blocks map to the same shard.
+pub struct SharedArcCache {
+    shards: Vec<Mutex<ArcCache>>,
+    reads: Counter,
+    fills: Counter,
+}
+
+impl SharedArcCache {
+    /// Build with `capacity_bytes` split evenly across `shards` shards
+    /// (at least one). More shards = less lock contention; the byte budget
+    /// is a per-shard bound, so pathological key distributions can evict
+    /// earlier than a single monolithic cache would.
+    pub fn new(capacity_bytes: u64, shards: usize) -> Self {
+        let n = shards.max(1);
+        let per_shard = capacity_bytes.div_ceil(n as u64);
+        SharedArcCache {
+            shards: (0..n).map(|_| Mutex::new(ArcCache::new(per_shard))).collect(),
+            reads: Counter::default(),
+            fills: Counter::default(),
+        }
+    }
+
+    /// Attach observability. The shard caches accumulate into the shared
+    /// `arc_*_total` counters (thread-safe atomics), and the wrapper adds
+    /// `shared_arc_reads_total` / `shared_arc_fills_total`.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.reads = metrics.counter("shared_arc_reads_total");
+        self.fills = metrics.counter("shared_arc_fills_total");
+        for shard in &self.shards {
+            shard.lock().expect("shard poisoned").set_metrics(metrics);
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: BlockKey) -> &Mutex<ArcCache> {
+        &self.shards[(key % self.shards.len() as u128) as usize]
+    }
+
+    /// Concurrent read-through: hit bumps the payload refcount, miss
+    /// decompresses under the shard lock and caches the produced buffer.
+    /// Semantics match [`ArcCache::read_through`] exactly (missing file →
+    /// `None`, hole → shared zero block).
+    pub fn read_through(
+        &self,
+        pool: &ZPool,
+        file: &str,
+        block_idx: u64,
+    ) -> Option<SharedPayload> {
+        self.reads.inc();
+        match pool.block_ref(file, block_idx)? {
+            None => Some(pool.zero_block_shared()),
+            Some(r) => {
+                let mut shard = self.shard(r.key).lock().expect("shard poisoned");
+                if let Some(data) = shard.get(r.key) {
+                    return Some(Arc::clone(data));
+                }
+                let data = pool.read_block_shared(file, block_idx)?;
+                self.fills.inc();
+                shard.insert(r.key, Arc::clone(&data));
+                Some(data)
+            }
+        }
+    }
+
+    /// Aggregate statistics summed over all shards.
+    pub fn stats(&self) -> ArcStats {
+        let mut total = ArcStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().expect("shard poisoned").stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+
+    /// Total cached bytes across shards.
+    pub fn used_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").used_bytes())
+            .sum()
+    }
+
+    /// Total cached entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PoolConfig;
+    use squirrel_compress::Codec;
+
+    fn pool_with_file(blocks: &[u8]) -> ZPool {
+        let mut pool = ZPool::new(PoolConfig::new(512, Codec::Lz4));
+        pool.create_file("img");
+        for (i, &f) in blocks.iter().enumerate() {
+            pool.write_block("img", i as u64, &vec![f; 512]);
+        }
+        pool
+    }
+
+    #[test]
+    fn matches_serial_arc_semantics() {
+        let pool = pool_with_file(&[1, 2, 3]);
+        let shared = SharedArcCache::new(1 << 20, 4);
+        let mut serial = ArcCache::new(1 << 20);
+        for idx in [0u64, 1, 2, 0, 1, 2, 7] {
+            let a = shared.read_through(&pool, "img", idx).expect("file");
+            let b = serial.read_through(&pool, "img", idx).expect("file");
+            assert_eq!(a, b, "idx {idx}");
+        }
+        assert!(shared.read_through(&pool, "missing", 0).is_none());
+        assert_eq!(shared.stats(), serial.stats());
+    }
+
+    #[test]
+    fn warm_hits_alias_one_buffer() {
+        let pool = pool_with_file(&[9]);
+        let shared = SharedArcCache::new(1 << 20, 2);
+        let a = shared.read_through(&pool, "img", 0).expect("file");
+        let b = shared.read_through(&pool, "img", 0).expect("file");
+        assert!(Arc::ptr_eq(&a, &b), "warm read is a refcount bump");
+        assert_eq!(shared.stats().hits, 1);
+        assert_eq!(shared.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_bit_identical_at_any_thread_count() {
+        let pool = pool_with_file(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let reference: Vec<_> = (0..8u64)
+            .map(|i| pool.read_block("img", i).expect("file"))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let cache = SharedArcCache::new(1 << 20, 4);
+            let results: Vec<Vec<u8>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let cache = &cache;
+                        let pool = &pool;
+                        scope.spawn(move || {
+                            (0..8u64)
+                                .map(|i| {
+                                    cache.read_through(pool, "img", i).expect("file").to_vec()
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("reader panicked"))
+                    .collect()
+            });
+            for (i, got) in results.iter().enumerate() {
+                assert_eq!(got, &reference[i % 8], "threads={threads} read {i}");
+            }
+            // Cache sized above the working set: each unique block fills
+            // exactly once regardless of reader count.
+            assert_eq!(cache.stats().misses, 8, "threads={threads}");
+            assert_eq!(cache.stats().evictions, 0, "threads={threads}");
+            assert_eq!(cache.len(), 8);
+        }
+    }
+
+    #[test]
+    fn counters_track_reads_and_fills() {
+        let registry = squirrel_obs::MetricsRegistry::new();
+        let pool = pool_with_file(&[1, 2]);
+        let mut cache = SharedArcCache::new(1 << 20, 4);
+        cache.set_metrics(&registry.handle());
+        for _ in 0..3 {
+            cache.read_through(&pool, "img", 0).expect("file");
+            cache.read_through(&pool, "img", 1).expect("file");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("shared_arc_reads_total"), Some(6));
+        assert_eq!(snap.counter("shared_arc_fills_total"), Some(2));
+        assert_eq!(snap.counter("arc_bytes_copied_total"), Some(0));
+    }
+
+    #[test]
+    fn shard_capacity_split_still_bounds_bytes() {
+        // 8 distinct 512-byte blocks through a 1-shard 1024-byte cache:
+        // evictions keep used bytes within capacity.
+        let pool = pool_with_file(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let cache = SharedArcCache::new(1024, 1);
+        for i in 0..8u64 {
+            cache.read_through(&pool, "img", i).expect("file");
+        }
+        assert!(cache.used_bytes() <= 1024);
+        assert!(cache.stats().evictions > 0);
+    }
+}

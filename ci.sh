@@ -35,4 +35,20 @@ grep -q '"deterministic_across_threads": true' results/BENCH_bootstorm.json
 grep -Eq '"arc_hit_rate": 0\.[0-9]*[1-9]' results/BENCH_bootstorm.json
 grep -q '"payload_bytes_copied": 0,' results/BENCH_bootstorm.json
 
+echo "== chaos soak (release, pinned seed) =="
+rm -f results/BENCH_chaos.json
+cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \
+    chaos --images 12 --seed 2014 > /dev/null
+test -f results/BENCH_chaos.json
+# The soak must converge to a consistent, scrub-clean state and replay
+# bit-identically at every thread count of the sweep.
+grep -q '"converged": true' results/BENCH_chaos.json
+grep -q '"scrub_clean": true' results/BENCH_chaos.json
+grep -q '"deterministic_across_threads": true' results/BENCH_chaos.json
+# Chaos actually happened: the plan injected a nonzero number of faults.
+grep -Eq '"faults_injected": [1-9]' results/BENCH_chaos.json
+
+echo "== decode fuzz smoke (release, fixed seeds) =="
+cargo test -q --release -p squirrel-zfs decode_survives > /dev/null
+
 echo "ci.sh: all checks passed"

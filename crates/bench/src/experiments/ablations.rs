@@ -188,7 +188,7 @@ pub fn run_ablation_hoard(cfg: &ExperimentConfig) -> Vec<HoardPoint> {
         let keep = ((n as f64 * frac).ceil() as u32).max(1);
         for node in 0..nodes {
             for img in keep..n {
-                sq.evict_cache(node, img).expect("evict");
+                let _ = sq.evict_cache(node, img).expect("evict");
             }
         }
         sq.network_mut().reset_ledgers();

@@ -1,0 +1,192 @@
+//! Chaos-soak bench: simulated days of register/boot/gc under a seeded
+//! [`FaultPlan`](squirrel_core::FaultPlan), with churn, partitions and bit
+//! rot injected throughout and the self-healing workflows run on a cadence
+//! (`squirrel_core::chaos_soak`).
+//!
+//! For each worker-thread count the soak replays the *same* fault schedule
+//! on a fresh system; the resulting [`ChaosReport`]s must compare equal —
+//! every fault decision, retry, repair and read checksum is bit-identical —
+//! and each run must converge to a consistent, scrub-clean state after the
+//! final repair pass. Both properties are asserted here, so a passing bench
+//! *is* the acceptance check.
+//!
+//! Results land in `results/BENCH_chaos.json`.
+
+use crate::config::ExperimentConfig;
+use crate::csvout::fmt_f;
+use crate::experiments::bootstorm::thread_sweep;
+use squirrel_core::{chaos_soak, ChaosConfig, ChaosReport};
+
+/// Soak length in simulated days.
+pub const SOAK_DAYS: u64 = 15;
+/// Compute nodes under churn.
+pub const SOAK_NODES: u32 = 6;
+
+/// One thread count's soak.
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    pub threads: usize,
+    pub wall_secs: f64,
+    pub report: ChaosReport,
+}
+
+fn soak_config(cfg: &ExperimentConfig, threads: usize) -> ChaosConfig {
+    ChaosConfig {
+        days: SOAK_DAYS,
+        // One image registers per day; more than `days` images never land.
+        images: cfg.images.min(12),
+        nodes: SOAK_NODES,
+        seed: cfg.seed,
+        threads,
+        ..ChaosConfig::default()
+    }
+}
+
+/// Sweep the thread counts, assert convergence and bit-identical reports,
+/// and persist `BENCH_chaos.json` under the configured output directory.
+pub fn run_chaos(cfg: &ExperimentConfig) -> Vec<ChaosRun> {
+    let runs: Vec<ChaosRun> = thread_sweep(cfg)
+        .into_iter()
+        .map(|threads| {
+            let t = std::time::Instant::now();
+            let report = chaos_soak(&soak_config(cfg, threads));
+            ChaosRun { threads, wall_secs: t.elapsed().as_secs_f64(), report }
+        })
+        .collect();
+
+    let first = &runs[0];
+    for run in &runs {
+        assert!(run.report.converged, "threads={}: soak did not converge", run.threads);
+        assert!(run.report.scrub_clean, "threads={}: pools not scrub-clean", run.threads);
+        assert_eq!(
+            run.report, first.report,
+            "threads={} diverged from threads={}",
+            run.threads, first.threads
+        );
+    }
+
+    for run in &runs {
+        let r = &run.report;
+        println!(
+            "chaos threads={}: {} days, {} faults injected, {} blocks repaired, \
+             {} nodes re-synced, {} degraded boots; converged={} ({:.2}s wall)",
+            run.threads,
+            r.days,
+            r.fault.total_injected(),
+            r.blocks_repaired,
+            r.sync_repaired_nodes,
+            r.degraded_boots,
+            r.converged,
+            run.wall_secs,
+        );
+    }
+
+    if let Some(dir) = &cfg.out_dir {
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let path = std::path::Path::new(dir).join("BENCH_chaos.json");
+        std::fs::write(&path, render_json(cfg, &runs)).expect("write BENCH_chaos.json");
+        println!("chaos bench written to {}", path.display());
+    }
+    runs
+}
+
+/// Hand-rolled JSON (the workspace is std-only by policy).
+fn render_json(cfg: &ExperimentConfig, runs: &[ChaosRun]) -> String {
+    let r = &runs[0].report;
+    let f = &r.fault;
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|run| {
+            format!(
+                "    {{\"threads\": {}, \"wall_secs\": {}}}",
+                run.threads,
+                fmt_f(run.wall_secs)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"seed\": {},\n  \"days\": {},\n  \"images\": {},\n  \"nodes\": {SOAK_NODES},\n  \
+         \"converged\": {},\n  \"scrub_clean\": {},\n  \
+         \"consistent_before_final_repair\": {},\n  \
+         \"deterministic_across_threads\": true,\n  \
+         \"read_checksum\": \"{}\",\n  \
+         \"faults_injected\": {},\n  \
+         \"fault_breakdown\": {{\"net_drops\": {}, \"net_duplicates\": {}, \
+         \"net_transients\": {}, \"stream_corruptions\": {}, \"recv_crashes\": {}, \
+         \"block_corruptions\": {}, \"offlines\": {}, \"rejoins\": {}, \"flaps\": {}, \
+         \"partitions\": {}, \"heals\": {}, \"retries\": {}, \"giveups\": {}}},\n  \
+         \"repair\": {{\"blocks_repaired\": {}, \"blocks_unrepaired\": {}, \
+         \"repair_wire_bytes\": {}, \"sync_repaired_nodes\": {}, \"rejoin_failures\": {}}},\n  \
+         \"workflows\": {{\"registrations\": {}, \"boots\": {}, \"warm_boots\": {}, \
+         \"degraded_boots\": {}, \"storms\": {}, \"gc_runs\": {}, \"churn_applied\": {}}},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        cfg.seed,
+        r.days,
+        r.registrations,
+        r.converged,
+        r.scrub_clean,
+        r.consistent_before_final_repair,
+        r.read_checksum,
+        f.total_injected(),
+        f.net_drops,
+        f.net_duplicates,
+        f.net_transients,
+        f.stream_corruptions,
+        f.recv_crashes,
+        f.block_corruptions,
+        f.offlines,
+        f.rejoins,
+        f.flaps,
+        f.partitions,
+        f.heals,
+        f.retries,
+        f.giveups,
+        r.blocks_repaired,
+        r.blocks_unrepaired,
+        r.repair_wire_bytes,
+        r.sync_repaired_nodes,
+        r.rejoin_failures,
+        r.registrations,
+        r.boots,
+        r.warm_boots,
+        r.degraded_boots,
+        r.storms,
+        r.gc_runs,
+        r.churn_applied,
+        entries.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_sweep_converges_and_is_deterministic() {
+        let cfg = ExperimentConfig::smoke();
+        let runs = run_chaos(&cfg);
+        assert_eq!(runs.len(), 3);
+        assert!(runs[0].report.fault.total_injected() > 0);
+    }
+
+    #[test]
+    fn json_has_the_acceptance_fields() {
+        let cfg = ExperimentConfig { threads: 1, ..ExperimentConfig::smoke() };
+        let runs = vec![ChaosRun {
+            threads: 1,
+            wall_secs: 0.5,
+            report: chaos_soak(&soak_config(&cfg, 1)),
+        }];
+        let json = render_json(&cfg, &runs);
+        for key in [
+            "\"converged\": true",
+            "\"scrub_clean\": true",
+            "\"deterministic_across_threads\": true",
+            "\"faults_injected\"",
+            "\"blocks_repaired\"",
+            "\"read_checksum\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -48,6 +48,9 @@ pub enum NetError {
     SelfTransfer { node: NodeId },
     /// A node id outside the cluster.
     UnknownNode { node: NodeId, nodes: usize },
+    /// The link between the two nodes is partitioned (see
+    /// [`Network::partition`]).
+    Partitioned { src: NodeId, dst: NodeId },
 }
 
 impl std::fmt::Display for NetError {
@@ -56,6 +59,9 @@ impl std::fmt::Display for NetError {
             NetError::SelfTransfer { node } => write!(f, "node {node} transfer to itself"),
             NetError::UnknownNode { node, nodes } => {
                 write!(f, "unknown node {node} (cluster has {nodes})")
+            }
+            NetError::Partitioned { src, dst } => {
+                write!(f, "link {src}<->{dst} is partitioned")
             }
         }
     }
@@ -103,6 +109,9 @@ pub struct Network {
     link: LinkKind,
     roles: Vec<NodeRole>,
     ledgers: Vec<TrafficLedger>,
+    /// Cut links, stored as normalized `(min, max)` pairs. Partitions are
+    /// symmetric: cutting `a<->b` blocks traffic in both directions.
+    partitions: std::collections::BTreeSet<(NodeId, NodeId)>,
     meters: NetMeters,
 }
 
@@ -117,6 +126,7 @@ impl Network {
             link,
             roles,
             ledgers: vec![TrafficLedger::default(); n],
+            partitions: std::collections::BTreeSet::new(),
             meters: NetMeters::disabled(),
         }
     }
@@ -156,6 +166,47 @@ impl Network {
         }
     }
 
+    fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        (a.min(b), a.max(b))
+    }
+
+    /// Cut the link between `a` and `b` (symmetric). Transfers crossing a
+    /// cut link fail with [`NetError::Partitioned`] before any bytes are
+    /// charged. Idempotent.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        if a != b && (a as usize) < self.roles.len() && (b as usize) < self.roles.len() {
+            self.partitions.insert(Self::link_key(a, b));
+        }
+    }
+
+    /// Restore the link between `a` and `b`. Idempotent.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.remove(&Self::link_key(a, b));
+    }
+
+    /// Restore every cut link.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Is the direct link between `a` and `b` currently up?
+    pub fn is_reachable(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || !self.partitions.contains(&Self::link_key(a, b))
+    }
+
+    /// Number of currently-cut links.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn check_reachable(&self, src: NodeId, dst: NodeId) -> Result<(), NetError> {
+        if self.is_reachable(src, dst) {
+            Ok(())
+        } else {
+            Err(NetError::Partitioned { src, dst })
+        }
+    }
+
     /// Transfer `bytes` from `src` to `dst`; returns the transfer seconds.
     /// Panics on a malformed transfer — see [`try_unicast`](Self::try_unicast).
     pub fn unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64) -> f64 {
@@ -170,6 +221,7 @@ impl Network {
         }
         self.check_node(src)?;
         self.check_node(dst)?;
+        self.check_reachable(src, dst)?;
         self.ledgers[src as usize].tx_bytes += bytes;
         self.ledgers[dst as usize].rx_bytes += bytes;
         self.meters.unicasts.inc();
@@ -199,6 +251,7 @@ impl Network {
                 return Err(NetError::SelfTransfer { node: src });
             }
             self.check_node(d)?;
+            self.check_reachable(src, d)?;
         }
         self.ledgers[src as usize].tx_bytes += bytes;
         for &d in dsts {
@@ -238,6 +291,7 @@ impl Network {
                 return Err(NetError::SelfTransfer { node: d });
             }
             self.check_node(d)?;
+            self.check_reachable(prev, d)?;
             prev = d;
         }
         let mut prev = src;
@@ -368,6 +422,50 @@ mod tests {
         // Errors render through Display and implement Error.
         let e: Box<dyn std::error::Error> = Box::new(NetError::SelfTransfer { node: 7 });
         assert_eq!(e.to_string(), "node 7 transfer to itself");
+    }
+
+    #[test]
+    fn partition_blocks_transfers_without_charging() {
+        let mut net = Network::new(LinkKind::GbE, 3, 1);
+        net.partition(3, 1);
+        assert!(!net.is_reachable(1, 3), "symmetric cut");
+        assert_eq!(net.partition_count(), 1);
+        assert_eq!(
+            net.try_unicast(3, 1, 1000),
+            Err(NetError::Partitioned { src: 3, dst: 1 })
+        );
+        // Multicast with one unreachable receiver fails atomically.
+        assert_eq!(
+            net.try_multicast(3, &[0, 1, 2], 1000),
+            Err(NetError::Partitioned { src: 3, dst: 1 })
+        );
+        // Pipeline checks hop-by-hop links: the chain 0 -> 1 -> 3 dies on
+        // the cut 1<->3 hop, while 3 -> 0 -> 1 routes around it.
+        assert_eq!(
+            net.try_pipeline(0, &[1, 3], 1000),
+            Err(NetError::Partitioned { src: 1, dst: 3 })
+        );
+        // None of the failures above charged a ledger.
+        assert_eq!(net.compute_rx_total(), 0);
+        assert_eq!(net.ledger(3), TrafficLedger::default());
+        assert!(net.try_pipeline(3, &[0, 1], 1000).is_ok());
+        // Unaffected links still work.
+        assert!(net.try_unicast(3, 0, 10).is_ok());
+        // Heal restores the link; heal_all clears everything.
+        net.heal(1, 3);
+        assert!(net.is_reachable(3, 1));
+        assert!(net.try_unicast(3, 1, 10).is_ok());
+        net.partition(3, 0);
+        net.partition(3, 2);
+        net.heal_all();
+        assert_eq!(net.partition_count(), 0);
+        // Partition of bogus or self links is a no-op.
+        net.partition(0, 0);
+        net.partition(0, 99);
+        assert_eq!(net.partition_count(), 0);
+        let e: Box<dyn std::error::Error> =
+            Box::new(NetError::Partitioned { src: 3, dst: 1 });
+        assert_eq!(e.to_string(), "link 3<->1 is partitioned");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! disks) while each written byte lands on two replicas (tolerating one
 //! disk failure per replica group).
 
-use crate::netsim::{Network, NodeId};
+use crate::netsim::{NetError, Network, NodeId};
 
 /// Striping/replication shape.
 #[derive(Clone, Copy, Debug)]
@@ -54,8 +54,25 @@ impl GlusterVolume {
     /// Serve a client read of `bytes` at `offset` for `client`: each
     /// stripe's primary replica sends its share over the network. Returns
     /// the transfer seconds of the slowest stripe (they proceed in
-    /// parallel).
+    /// parallel). Panics when a stripe has no reachable replica — see
+    /// [`try_read`](Self::try_read).
     pub fn read(&self, net: &mut Network, client: NodeId, offset: u64, bytes: u64) -> f64 {
+        self.try_read(net, client, offset, bytes)
+            .expect("every stripe has a reachable replica")
+    }
+
+    /// Fallible [`read`](Self::read) with replica failover: each stripe is
+    /// served by its first replica reachable from `client` (the primary on
+    /// a healthy network, so ledgers are unchanged there). Only when *every*
+    /// replica of a stripe is behind a partition does the read fail — and it
+    /// fails before any byte is charged.
+    pub fn try_read(
+        &self,
+        net: &mut Network,
+        client: NodeId,
+        offset: u64,
+        bytes: u64,
+    ) -> Result<f64, NetError> {
         let mut per_stripe = vec![0u64; self.config.stripe as usize];
         let unit = self.config.stripe_unit;
         let mut pos = offset;
@@ -67,19 +84,26 @@ impl GlusterVolume {
             per_stripe[stripe] += take;
             pos += take;
         }
-        let mut slowest = 0.0f64;
+        // Pick every stripe's serving replica first, so a dead stripe
+        // leaves the ledgers untouched.
+        let mut serving = Vec::new();
         for (s, &b) in per_stripe.iter().enumerate() {
             if b == 0 {
                 continue;
             }
-            // Primary replica of the stripe serves reads; replica choice
-            // rotates by offset in real gluster, but the ledger outcome is
-            // identical on a flat switch.
-            let brick = self.stripe_bricks(s as u32).next().expect("stripe has bricks");
-            let secs = net.unicast(brick, client, b);
+            let primary = self.stripe_bricks(s as u32).next().expect("stripe has bricks");
+            let brick = self
+                .stripe_bricks(s as u32)
+                .find(|&br| net.is_reachable(br, client))
+                .ok_or(NetError::Partitioned { src: primary, dst: client })?;
+            serving.push((brick, b));
+        }
+        let mut slowest = 0.0f64;
+        for (brick, b) in serving {
+            let secs = net.try_unicast(brick, client, b)?;
             slowest = slowest.max(secs);
         }
-        slowest
+        Ok(slowest)
     }
 
     /// Serve a client write: every byte goes to all replicas of its stripe.

@@ -1,0 +1,296 @@
+//! Seeded chaos soak: simulated days of register/boot/gc under a
+//! deterministic [`FaultPlan`], with churn, partitions and bit rot injected
+//! every step and the self-healing workflows run on a fixed cadence.
+//!
+//! The soak is the capstone check of the fault tentpole: for a pinned seed
+//! the whole run — every fault decision, every retry, every repair, every
+//! read checksum — is bit-identical at any worker-thread count, and the
+//! system must converge to a consistent, scrub-clean state once the final
+//! repair pass runs. Nothing in the driver consults wall clocks or ambient
+//! randomness; the seed is the only source of nondeterminism.
+
+use crate::system::{Squirrel, SquirrelConfig};
+use squirrel_cluster::NodeId;
+use squirrel_dataset::{Corpus, CorpusConfig};
+use squirrel_faults::{ChurnEvent, FaultConfig, FaultPlan, FaultReport, PartitionEvent};
+use squirrel_hash::ContentHash;
+use std::sync::Arc;
+
+/// Shape of one soak run. Everything is derived from `seed`; two configs
+/// that compare equal produce bit-identical [`ChaosReport`]s.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Simulated days to run.
+    pub days: u64,
+    /// Corpus size; one image is registered per day until they run out.
+    pub images: u32,
+    /// Compute nodes.
+    pub nodes: u32,
+    /// Master seed for both the corpus and the fault plan.
+    pub seed: u64,
+    /// Worker threads (`0` = all cores). Results are bit-identical at any
+    /// setting.
+    pub threads: usize,
+    /// VMs per periodic boot storm.
+    pub storm_vms: u32,
+    /// Fault probabilities and retry policy.
+    pub faults: FaultConfig,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            days: 18,
+            images: 10,
+            nodes: 6,
+            seed: 42,
+            threads: 0,
+            storm_vms: 8,
+            faults: FaultConfig::chaos(),
+        }
+    }
+}
+
+/// Outcome of one soak. Pure integers, booleans and hex strings — `Eq`
+/// equality between two reports *is* the determinism witness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[must_use]
+pub struct ChaosReport {
+    pub days: u64,
+    /// Registrations attempted (one per day while images remain).
+    pub registrations: u64,
+    /// Individual boots attempted (not counting storms).
+    pub boots: u64,
+    pub warm_boots: u64,
+    /// Boots (and storm VMs) served degraded: cache present but corrupt,
+    /// fell back to shared storage.
+    pub degraded_boots: u64,
+    pub storms: u64,
+    pub gc_runs: u64,
+    /// Churn events applied (offline/rejoin/flap).
+    pub churn_applied: u64,
+    /// Rejoins that failed (partitioned link or rejected stream) and were
+    /// left for a later repair pass.
+    pub rejoin_failures: u64,
+    /// Corrupt records restored from an intact replica, over all passes.
+    pub blocks_repaired: u64,
+    /// Corrupt-record observations no pass could heal at the time.
+    pub blocks_unrepaired: u64,
+    /// Wire bytes moved by repair re-fetches and catch-up streams.
+    pub repair_wire_bytes: u64,
+    /// Lagging nodes pulled back in sync, over all passes.
+    pub sync_repaired_nodes: u64,
+    /// Whether the replication invariant already held before the final
+    /// repair pass (it usually doesn't — that's the point of the soak).
+    pub consistent_before_final_repair: bool,
+    /// The capstone assertion: after heal-all + final repair, every online
+    /// node mirrors the scVolume.
+    pub converged: bool,
+    /// Every pool finished scrub-clean.
+    pub scrub_clean: bool,
+    /// Hash over every workflow outcome in order (registration tags, boot
+    /// results, storm read checksums, error strings) — the run's
+    /// determinism witness.
+    pub read_checksum: String,
+    /// Everything the plan injected.
+    pub fault: FaultReport,
+}
+
+/// Run one chaos soak. See the module docs for the determinism contract.
+pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(cfg.images, cfg.seed)));
+    let mut sq = Squirrel::new(
+        SquirrelConfig {
+            compute_nodes: cfg.nodes,
+            block_size: 16 * 1024,
+            threads: cfg.threads,
+            ..Default::default()
+        },
+        corpus,
+    );
+    sq.set_fault_plan(FaultPlan::new(cfg.seed, cfg.faults));
+    let storage = cfg.nodes; // first storage node id
+    let mut r = ChaosReport { days: cfg.days, ..ChaosReport::default() };
+    let mut feed = String::new();
+    let mut next_image: u32 = 0;
+
+    for day in 0..cfg.days {
+        // Draw the day's environment events from the plan, serially, then
+        // re-arm it so register's delivery path keeps drawing from the
+        // same stream.
+        let mut plan = sq.clear_fault_plan().expect("plan armed");
+        let churn = plan.churn_event(cfg.nodes, |n| sq.node_is_online(n));
+        let cut = plan.partition_event(storage, cfg.nodes, |n| {
+            !sq.network().is_reachable(storage, n)
+        });
+        let rot = plan.block_corruption(cfg.nodes);
+        sq.set_fault_plan(plan);
+
+        match churn {
+            Some(ChurnEvent::Offline(n)) => {
+                let _ = sq.node_offline(n);
+                r.churn_applied += 1;
+            }
+            Some(ChurnEvent::Rejoin(n)) | Some(ChurnEvent::Flap(n)) => {
+                if matches!(churn, Some(ChurnEvent::Flap(_))) {
+                    let _ = sq.node_offline(n);
+                }
+                r.churn_applied += 1;
+                if sq.node_rejoin(n).is_err() {
+                    r.rejoin_failures += 1;
+                }
+            }
+            None => {}
+        }
+        match cut {
+            Some(PartitionEvent::Cut(a, b)) => sq.network_mut().partition(a, b),
+            Some(PartitionEvent::Heal(a, b)) => sq.network_mut().heal(a, b),
+            None => {}
+        }
+        if let Some((victim, nth)) = rot {
+            let key = match victim {
+                Some(n) => sq.corrupt_cc_block(n, nth),
+                None => sq.corrupt_sc_block(nth),
+            };
+            feed.push_str(&format!("rot:{victim:?}:{}\n", key.is_some()));
+        }
+
+        // One registration per day while images remain.
+        if next_image < cfg.images {
+            r.registrations += 1;
+            match sq.register(next_image) {
+                Ok(rep) => feed.push_str(&format!(
+                    "reg:{}:{}:{}\n",
+                    rep.snapshot_tag, rep.nodes_updated, rep.diff_wire_bytes
+                )),
+                Err(e) => feed.push_str(&format!("reg-err:{e}\n")),
+            }
+            next_image += 1;
+        }
+
+        // A couple of boots on a deterministic node/image rotation.
+        for k in 0..2u64 {
+            let image = ((day + k) % u64::from(next_image.max(1))) as u32;
+            let node = ((day * 3 + k * 5) % u64::from(cfg.nodes)) as NodeId;
+            match sq.boot(node, image) {
+                Ok(out) => {
+                    r.boots += 1;
+                    if out.warm {
+                        r.warm_boots += 1;
+                    }
+                    if out.degraded {
+                        r.degraded_boots += 1;
+                    }
+                    feed.push_str(&format!(
+                        "boot:{node}:{image}:{}:{}\n",
+                        out.warm, out.degraded
+                    ));
+                }
+                Err(e) => feed.push_str(&format!("boot-err:{node}:{image}:{e}\n")),
+            }
+        }
+
+        // Periodic boot storm over whatever nodes are up.
+        if day % 5 == 4 {
+            let image = (day % u64::from(next_image.max(1))) as u32;
+            match sq.boot_storm(image, cfg.storm_vms) {
+                Ok(storm) => {
+                    r.storms += 1;
+                    r.degraded_boots += u64::from(storm.degraded_vms);
+                    feed.push_str(&format!("storm:{image}:{}\n", storm.read_checksum));
+                }
+                Err(e) => feed.push_str(&format!("storm-err:{image}:{e}\n")),
+            }
+        }
+
+        // Periodic self-healing: scVolume first (it is the authoritative
+        // repair donor), then the ccVolumes, then replication catch-up.
+        if day % 3 == 2 {
+            tally_repair(&mut r, &mut sq);
+        }
+
+        let _ = sq.gc();
+        r.gc_runs += 1;
+        sq.advance_days(1);
+    }
+
+    // Convergence: heal every link, bring every node back, run the full
+    // repair stack, and check the paper's invariant.
+    r.consistent_before_final_repair = sq.check_replication().is_consistent();
+    sq.network_mut().heal_all();
+    for n in 0..cfg.nodes {
+        if !sq.node_is_online(n) && sq.node_rejoin(n).is_err() {
+            r.rejoin_failures += 1;
+        }
+    }
+    tally_repair(&mut r, &mut sq);
+    r.converged = sq.check_replication().is_consistent();
+    r.scrub_clean = sq.scrub_scvol().is_clean()
+        && (0..cfg.nodes).all(|n| sq.scrub_node(n).is_some_and(|s| s.is_clean()));
+    r.fault = sq.clear_fault_plan().expect("plan armed").report();
+    r.read_checksum = ContentHash::of(feed.as_bytes()).to_hex();
+    r
+}
+
+/// One full repair pass: scVolume, every online ccVolume, then replication.
+fn tally_repair(r: &mut ChaosReport, sq: &mut Squirrel) {
+    let sc = sq.scrub_and_repair_scvol();
+    r.blocks_repaired += sc.repaired;
+    r.blocks_unrepaired += sc.unrepaired;
+    r.repair_wire_bytes += sc.refetch_bytes;
+    for n in 0..sq.config().compute_nodes {
+        if !sq.node_is_online(n) {
+            continue;
+        }
+        if let Ok(rep) = sq.scrub_and_repair(n) {
+            r.blocks_repaired += rep.repaired;
+            r.blocks_unrepaired += rep.unrepaired;
+            r.repair_wire_bytes += rep.refetch_bytes;
+        }
+    }
+    let sync = sq.repair_replication();
+    r.sync_repaired_nodes += u64::from(sync.repaired);
+    r.repair_wire_bytes += sync.wire_bytes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChaosConfig {
+        ChaosConfig { days: 9, images: 5, nodes: 4, seed: 11, threads: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn soak_converges_and_ends_scrub_clean() {
+        let r = chaos_soak(&tiny());
+        assert!(r.converged, "{r:?}");
+        assert!(r.scrub_clean, "{r:?}");
+        assert_eq!(r.registrations, 5);
+        assert_eq!(r.gc_runs, 9);
+        assert!(r.fault.total_injected() > 0, "chaos must inject: {:?}", r.fault);
+    }
+
+    #[test]
+    fn soak_is_bit_identical_for_one_seed() {
+        let a = chaos_soak(&tiny());
+        let b = chaos_soak(&tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn soak_is_thread_count_invariant() {
+        let at = |threads| chaos_soak(&ChaosConfig { threads, ..tiny() });
+        let reference = at(1);
+        for threads in [2, 8] {
+            assert_eq!(at(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = chaos_soak(&tiny());
+        let b = chaos_soak(&ChaosConfig { seed: 12, ..tiny() });
+        assert_ne!(a.fault, b.fault);
+    }
+}

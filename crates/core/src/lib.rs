@@ -30,12 +30,22 @@
 //!   read phase fans out over worker threads with bit-identical results at
 //!   any thread count.
 
+//! * [`Squirrel::set_fault_plan`] + the `scrub_and_repair` family — a
+//!   seeded, deterministic fault schedule ([`squirrel_faults`]) drives
+//!   drops, duplicates, in-flight bit flips, crashed receives, rotten
+//!   blocks and churn; recovery is transactional recv, bounded
+//!   retry-with-backoff, scrub-and-repair from intact replicas, and
+//!   degraded boots that fall back to shared storage.
+
+pub mod chaos;
 mod system;
 mod trace;
 
+pub use chaos::{chaos_soak, ChaosConfig, ChaosReport};
+pub use squirrel_faults::{FaultConfig, FaultPlan, FaultReport};
 pub use system::{
     BootOutcome, BootStormReport, BootVerification, EvictReport, GcReport, NodeReplication,
-    RegisterReport, RegistrationInfo, RejoinOutcome, ReplicationReport, Squirrel, SquirrelConfig,
-    SquirrelConfigBuilder, SquirrelError,
+    RegisterReport, RegistrationInfo, RejoinOutcome, RepairReport, ReplicationReport, Squirrel,
+    SquirrelConfig, SquirrelConfigBuilder, SquirrelError, SyncRepairReport,
 };
 pub use trace::paper_scale_trace;

@@ -2,12 +2,16 @@
 
 use crate::trace::paper_scale_trace;
 use squirrel_bootsim::{Backend, BootReport, BootSim, DedupVolumeParams};
-use squirrel_cluster::{GlusterConfig, GlusterVolume, LinkKind, Network, NodeId};
+use squirrel_cluster::{GlusterConfig, GlusterVolume, LinkKind, NetError, Network, NodeId};
 use squirrel_compress::Codec;
 use squirrel_dataset::{Corpus, ImageId};
+use squirrel_faults::{FaultPlan, FaultReport, TransferFault};
 use squirrel_obs::{Metrics, MetricsRegistry};
 use squirrel_qcow::{CorCache, VirtualDisk};
-use squirrel_zfs::{PoolConfig, RecvError, SharedArcCache, SpaceStats, ZPool};
+use squirrel_zfs::{
+    BlockKey, PoolConfig, RecvError, ScrubReport, SendError, SendStream, SharedArcCache,
+    SpaceStats, ZPool,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -135,6 +139,15 @@ pub enum SquirrelError {
     /// A snapshot stream failed to apply during catch-up; the underlying
     /// [`RecvError`] is reachable through [`std::error::Error::source`].
     Recv(RecvError),
+    /// A snapshot stream could not be built (the requested snapshot is
+    /// gone — e.g. collected between workflow steps).
+    Send(SendError),
+    /// A network transfer failed (link partitioned or bad endpoint); the
+    /// underlying [`NetError`] is reachable through `source`.
+    Net(NetError),
+    /// A node's hoarded cache disappeared between the warm-path check and
+    /// the read that needed it.
+    MissingCache { node: NodeId, image: ImageId },
 }
 
 impl std::fmt::Display for SquirrelError {
@@ -146,6 +159,11 @@ impl std::fmt::Display for SquirrelError {
             SquirrelError::NodeOffline(n) => write!(f, "node {n} is offline"),
             SquirrelError::NoSuchNode(n) => write!(f, "no such compute node {n}"),
             SquirrelError::Recv(e) => write!(f, "snapshot stream rejected: {e}"),
+            SquirrelError::Send(e) => write!(f, "snapshot stream unavailable: {e}"),
+            SquirrelError::Net(e) => write!(f, "transfer failed: {e}"),
+            SquirrelError::MissingCache { node, image } => {
+                write!(f, "node {node} lost the hoarded cache of image {image}")
+            }
         }
     }
 }
@@ -154,6 +172,8 @@ impl std::error::Error for SquirrelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SquirrelError::Recv(e) => Some(e),
+            SquirrelError::Send(e) => Some(e),
+            SquirrelError::Net(e) => Some(e),
             _ => None,
         }
     }
@@ -162,6 +182,18 @@ impl std::error::Error for SquirrelError {
 impl From<RecvError> for SquirrelError {
     fn from(e: RecvError) -> Self {
         SquirrelError::Recv(e)
+    }
+}
+
+impl From<SendError> for SquirrelError {
+    fn from(e: SendError) -> Self {
+        SquirrelError::Send(e)
+    }
+}
+
+impl From<NetError> for SquirrelError {
+    fn from(e: NetError) -> Self {
+        SquirrelError::Net(e)
     }
 }
 
@@ -188,6 +220,10 @@ pub struct BootOutcome {
     pub node: NodeId,
     /// True when the node's ccVolume held the cache (scatter-hoard hit).
     pub warm: bool,
+    /// True when the node *had* the cache but its stored blocks failed the
+    /// integrity check, so the boot fell back to shared storage. Always
+    /// `false` for a warm boot.
+    pub degraded: bool,
     /// Bytes this boot moved over the network to the compute node.
     pub net_bytes: u64,
     /// Simulated boot duration at paper scale.
@@ -207,6 +243,7 @@ pub enum RejoinOutcome {
 
 /// Outcome of a [`Squirrel::gc`] run (paper Section 3.4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
 pub struct GcReport {
     /// Snapshots collected from the scVolume (and every ccVolume).
     pub snapshots_collected: u32,
@@ -228,6 +265,7 @@ pub struct NodeReplication {
 /// Outcome of [`Squirrel::check_replication`]: every node's sync state
 /// against the scVolume's latest snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[must_use]
 pub struct ReplicationReport {
     /// The snapshot the comparison was taken against (`None` before the
     /// first registration, when the live file list is the reference).
@@ -277,6 +315,7 @@ pub struct BootVerification {
 /// working set concurrently, served zero-copy from the nodes' hoarded
 /// ccVolumes through a shard-locked ARC ([`SharedArcCache`]).
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct BootStormReport {
     pub image: ImageId,
     pub vms: u32,
@@ -286,6 +325,9 @@ pub struct BootStormReport {
     pub warm_vms: u32,
     /// VMs that pulled the working set over the network instead.
     pub cold_vms: u32,
+    /// Cold VMs whose node *held* the cache but failed the integrity check
+    /// (degraded service from shared storage; a subset of `cold_vms`).
+    pub degraded_vms: u32,
     /// Working-set blocks each VM read.
     pub blocks_per_vm: u64,
     /// Total payload bytes served to all VMs.
@@ -304,11 +346,63 @@ pub struct BootStormReport {
 
 /// Outcome of [`Squirrel::evict_cache`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
 pub struct EvictReport {
     pub node: NodeId,
     pub image: ImageId,
     /// Whether the cache was present before the eviction.
     pub was_cached: bool,
+}
+
+/// Outcome of a scrub-and-repair pass over one cVolume
+/// ([`Squirrel::scrub_and_repair`] / [`Squirrel::scrub_and_repair_scvol`]).
+/// Corrupt blocks are re-fetched from a replica holding an intact copy —
+/// the scatter hoard *is* the redundancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
+pub struct RepairReport {
+    /// The repaired volume: a compute node's ccVolume, or `None` for the
+    /// scVolume.
+    pub node: Option<NodeId>,
+    /// Unique records the scrub walked.
+    pub blocks_checked: u64,
+    /// Records whose stored bytes no longer hashed to their key.
+    pub corrupt_found: u64,
+    /// Corrupt records restored from an intact replica.
+    pub repaired: u64,
+    /// Corrupt records no reachable replica could heal.
+    pub unrepaired: u64,
+    /// Wire bytes the repair moved (compressed frames + record headers),
+    /// charged to the network ledgers like any other transfer.
+    pub refetch_bytes: u64,
+}
+
+impl RepairReport {
+    /// The volume left the pass with every record intact.
+    pub fn is_healed(&self) -> bool {
+        self.unrepaired == 0
+    }
+}
+
+/// Outcome of [`Squirrel::repair_replication`]: lagging online nodes pulled
+/// back in sync via the rejoin path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
+pub struct SyncRepairReport {
+    /// Online nodes that were out of sync before the pass.
+    pub lagging: u32,
+    /// Nodes the pass brought back in sync.
+    pub repaired: u32,
+    /// Nodes that stayed lagging (storage unreachable or stream rejected).
+    pub failed: u32,
+    /// Catch-up stream bytes moved.
+    pub wire_bytes: u64,
+}
+
+impl SyncRepairReport {
+    pub fn all_repaired(&self) -> bool {
+        self.failed == 0
+    }
 }
 
 struct ComputeNode {
@@ -344,6 +438,10 @@ pub struct Squirrel {
     /// on rejoin — records into the same commutative series, so parallel
     /// stream application stays deterministic.
     ccvol_obs: Metrics,
+    /// Armed fault schedule, if any. Consulted only from serial
+    /// orchestration code (never inside a parallel region), so one seed
+    /// yields one schedule at any thread count.
+    faults: Option<FaultPlan>,
 }
 
 /// Adapter: expose a corpus image as a [`VirtualDisk`] for the registration
@@ -401,7 +499,27 @@ impl Squirrel {
             registry,
             obs,
             ccvol_obs,
+            faults: None,
         }
+    }
+
+    /// Arm a deterministic fault schedule: registration deliveries go
+    /// through the lossy per-node path (drops, duplicates, transients,
+    /// in-flight bit flips, crashed receives) with bounded retries and
+    /// deterministic backoff. Disarm with [`Self::clear_fault_plan`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Disarm the fault schedule, returning it (and its tally) if one was
+    /// armed.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// Tally of everything the armed plan has injected so far.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(|p| p.report())
     }
 
     /// The system's metrics registry. [`MetricsRegistry::snapshot`] after
@@ -480,34 +598,50 @@ impl Squirrel {
         self.snapshot_days.insert(tag.clone(), self.day);
 
         // 4. Multicast the incremental diff to all online compute nodes.
-        let stream = self.scvol.send_latest().expect("snapshot just created");
+        //    With a fault plan armed, delivery instead goes per node through
+        //    the lossy path (retry + deterministic backoff).
+        let stream = self.scvol.send_latest().map_err(SquirrelError::Send)?;
         let wire = stream.wire_bytes();
         let online: Vec<NodeId> = (0..self.nodes.len() as u32)
             .filter(|&n| self.nodes[n as usize].online)
             .collect();
         let mut transfer_secs = 0.0;
-        if !online.is_empty() {
-            let src = self.config.compute_nodes; // first storage node
-            transfer_secs = self.net.multicast(src, &online, wire);
-        }
-        // One prepared stream, N independent receivers: apply it to every
-        // online ccVolume concurrently instead of N serial recv replays.
-        let targets: Vec<&mut ZPool> = self
-            .nodes
-            .iter_mut()
-            .filter(|n| n.online)
-            .map(|n| &mut n.ccvol)
-            .collect();
-        let mut updated = 0;
-        for result in stream.apply_all(targets, self.config.threads) {
-            match result {
-                Ok(()) => updated += 1,
-                Err(RecvError::MissingBase(_)) => {
-                    // Shouldn't happen for online nodes; they sync on rejoin.
-                }
-                Err(RecvError::DuplicateTip(_)) => unreachable!("fresh tag"),
+        let updated = if let Some(mut plan) = self.faults.take() {
+            let (updated, secs) = self.deliver_with_faults(&mut plan, &stream, &online);
+            self.faults = Some(plan);
+            transfer_secs = secs;
+            updated
+        } else {
+            if !online.is_empty() {
+                let src = self.config.compute_nodes; // first storage node
+                transfer_secs = self.net.multicast(src, &online, wire);
             }
-        }
+            // One prepared stream, N independent receivers: apply it to
+            // every online ccVolume concurrently instead of N serial recv
+            // replays.
+            let targets: Vec<&mut ZPool> = self
+                .nodes
+                .iter_mut()
+                .filter(|n| n.online)
+                .map(|n| &mut n.ccvol)
+                .collect();
+            let mut updated = 0;
+            for result in stream.apply_all(targets, self.config.threads) {
+                match result {
+                    Ok(()) => updated += 1,
+                    Err(RecvError::MissingBase(_)) => {
+                        // Shouldn't happen for online nodes; they sync on
+                        // rejoin.
+                    }
+                    // A fresh tag can't be a duplicate, and a stream built
+                    // straight off the scVolume resolves every block — but
+                    // an injected-corrupt scVolume can produce a rejected
+                    // stream, so surface anything else instead of asserting.
+                    Err(e) => return Err(SquirrelError::Recv(e)),
+                }
+            }
+            updated
+        };
 
         // First boot takes a normal boot's time (paper: ~20 s), snapshot
         // creation is cheap, multicast as computed.
@@ -546,6 +680,107 @@ impl Squirrel {
         })
     }
 
+    /// Deliver one registration stream to every online node over the lossy
+    /// network: each node is served independently with bounded retries and
+    /// deterministic exponential backoff (charged in simulated seconds).
+    /// Every fault decision is drawn here, serially — never inside a worker
+    /// thread — so a plan seed yields one schedule at any thread count.
+    /// Nodes whose delivery is abandoned stay lagging; the repair workflow
+    /// ([`Self::repair_replication`]) catches them up. Returns
+    /// `(nodes_updated, transfer_seconds)`.
+    fn deliver_with_faults(
+        &mut self,
+        plan: &mut FaultPlan,
+        stream: &SendStream,
+        online: &[NodeId],
+    ) -> (u32, f64) {
+        let src = self.config.compute_nodes; // first storage node
+        let framed = stream.encode_framed();
+        let wire = stream.wire_bytes();
+        let mut updated = 0u32;
+        let mut secs = 0.0f64;
+        for &node in online {
+            let mut delivered = false;
+            for attempt in 0..=plan.max_retries() {
+                if attempt > 0 {
+                    plan.note_retry();
+                    self.obs.inc("squirrel_fault_retries_total");
+                    secs += plan.backoff_secs(attempt - 1);
+                }
+                let fault = plan.transfer_fault();
+                if fault == TransferFault::Transient {
+                    // The link errors before any bytes move.
+                    self.obs.inc("squirrel_fault_net_transients_total");
+                    continue;
+                }
+                // Bytes move for drops, duplicates and clean deliveries
+                // alike — a dropped stream still consumed the wire.
+                let t = match self.net.try_unicast(src, node, wire) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        // Link partitioned: nothing was charged; burn the
+                        // attempt (the cut may heal between workflow steps).
+                        self.obs.inc("squirrel_fault_partitioned_total");
+                        continue;
+                    }
+                };
+                secs += t;
+                if fault == TransferFault::Drop {
+                    self.obs.inc("squirrel_fault_net_drops_total");
+                    continue;
+                }
+                if fault == TransferFault::Duplicate {
+                    // The frame arrives twice; the second copy is charged
+                    // and discarded by the transactional recv's tip check.
+                    secs += self.net.unicast(src, node, wire);
+                    self.obs.inc("squirrel_fault_net_duplicates_total");
+                }
+                // In-flight corruption: flip one bit of this node's copy.
+                // The frame checksum catches it before anything is applied.
+                let mut bytes = framed.clone();
+                if plan.corrupt_stream(&mut bytes) {
+                    self.obs.inc("squirrel_fault_stream_corruptions_total");
+                }
+                let decoded = match SendStream::decode_framed(&bytes) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let ccvol = &mut self.nodes[node as usize].ccvol;
+                if plan.crash_mid_recv() {
+                    // Validate, then die before the apply phase: the pool is
+                    // untouched and the retry starts clean.
+                    self.obs.inc("squirrel_fault_recv_crashes_total");
+                    let _ = ccvol.recv_crashed(&decoded);
+                    continue;
+                }
+                match ccvol.recv(&decoded) {
+                    Ok(()) => {
+                        delivered = true;
+                        updated += 1;
+                        break;
+                    }
+                    // An earlier duplicate of this stream already landed.
+                    Err(RecvError::DuplicateTip(_)) => {
+                        delivered = true;
+                        updated += 1;
+                        break;
+                    }
+                    // Lagging node: retrying the same stream cannot help;
+                    // the rejoin path owns the catch-up.
+                    Err(RecvError::MissingBase(_)) => break,
+                    // Corrupt source payload or unresolvable pointer:
+                    // bounded retries, then give up.
+                    Err(_) => continue,
+                }
+            }
+            if !delivered {
+                plan.note_giveup();
+                self.obs.inc("squirrel_fault_giveups_total");
+            }
+        }
+        (updated, secs)
+    }
+
     /// Paper-volume working-set bytes of `image` (scaled back up).
     fn paper_ws_bytes(&self, image: ImageId) -> u64 {
         self.corpus.image(image).cache().bytes() * self.corpus.config().scale
@@ -573,19 +808,28 @@ impl Squirrel {
 
         let name = Self::cache_file_name(image);
         let trace = paper_scale_trace(self.paper_ws_bytes(image), image as u64);
-        let warm = n.ccvol.has_file(&name);
+        // Trust, but verify: a hoarded cache only serves the boot if its
+        // stored records still hash to their keys. Silent corruption
+        // downgrades to the cold path — the shared volume is the safe
+        // fallback until scrub-and-repair heals the replica.
+        let cached = n.ccvol.has_file(&name);
+        let warm = cached && n.ccvol.file_is_intact(&name).unwrap_or(false);
+        let degraded = cached && !warm;
 
         if warm {
             let backend = self.warm_backend(&n.ccvol, &name);
             let report = self.sim.boot(&trace, &backend);
             self.record_boot(node, image, true, 0);
-            Ok(BootOutcome { image, node, warm: true, net_bytes: 0, report })
+            Ok(BootOutcome { image, node, warm: true, degraded: false, net_bytes: 0, report })
         } else {
             // Cold path: the boot working set crosses the network from the
             // parallel file system (charged at corpus scale in the ledger,
-            // simulated at paper scale for timing).
+            // simulated at paper scale for timing). A node cut off from
+            // every replica of a stripe cannot boot at all.
             let ws_corpus_scale = self.corpus.image(image).cache().bytes();
-            self.gluster.read(&mut self.net, node, 0, ws_corpus_scale);
+            self.gluster
+                .try_read(&mut self.net, node, 0, ws_corpus_scale)
+                .map_err(SquirrelError::Net)?;
             let report = self.sim.boot(
                 &trace,
                 &Backend::ColdCache {
@@ -594,10 +838,14 @@ impl Squirrel {
                 },
             );
             self.record_boot(node, image, false, ws_corpus_scale);
+            if degraded {
+                self.obs.inc("squirrel_boot_degraded_total");
+            }
             Ok(BootOutcome {
                 image,
                 node,
                 warm: false,
+                degraded,
                 net_bytes: ws_corpus_scale,
                 report,
             })
@@ -698,16 +946,38 @@ impl Squirrel {
         }
         let blocks: Vec<u64> = block_set.into_iter().collect();
 
+        // Classify each participating node once: warm only when the cache
+        // is present *and* passes the integrity walk; a present-but-corrupt
+        // cache serves its VMs degraded from shared storage.
+        let mut node_warm: BTreeMap<usize, bool> = BTreeMap::new();
+        let mut node_degraded: BTreeMap<usize, bool> = BTreeMap::new();
+        for &node in &assignments {
+            if node_warm.contains_key(&node) {
+                continue;
+            }
+            let cc = &self.nodes[node].ccvol;
+            let cached = cc.has_file(&name);
+            let warm = cached && cc.file_is_intact(&name).unwrap_or(false);
+            node_warm.insert(node, warm);
+            node_degraded.insert(node, cached && !warm);
+        }
+
         // Cold nodes fetch the working set over the network up front
         // (serial: the network ledger is single-threaded state).
         let ws_corpus_scale = self.corpus.image(image).cache().bytes();
         let mut net_bytes = 0u64;
         let mut cold_vms = 0u32;
+        let mut degraded_vms = 0u32;
         for &node in &assignments {
-            if !self.nodes[node].ccvol.has_file(&name) {
-                self.gluster.read(&mut self.net, node as NodeId, 0, ws_corpus_scale);
+            if !node_warm[&node] {
+                self.gluster
+                    .try_read(&mut self.net, node as NodeId, 0, ws_corpus_scale)
+                    .map_err(SquirrelError::Net)?;
                 net_bytes += ws_corpus_scale;
                 cold_vms += 1;
+                if node_degraded[&node] {
+                    degraded_vms += 1;
+                }
             }
         }
         let warm_vms = vms - cold_vms;
@@ -720,7 +990,7 @@ impl Squirrel {
         let ws_bytes = (blocks.len() as u64 * bs).max(bs);
         let mut caches: BTreeMap<usize, SharedArcCache> = BTreeMap::new();
         for &node in &assignments {
-            if self.nodes[node].ccvol.has_file(&name) && !caches.contains_key(&node) {
+            if node_warm[&node] && !caches.contains_key(&node) {
                 let mut cache = SharedArcCache::new(ws_bytes * 16, 16);
                 cache.set_metrics(&self.ccvol_obs);
                 caches.insert(node, cache);
@@ -734,14 +1004,17 @@ impl Squirrel {
         // checksum is schedule-independent.
         let nodes = &self.nodes;
         let corpus = &self.corpus;
-        let per_vm: Vec<(u64, String)> =
+        let raw: Vec<Result<(u64, String), SquirrelError>> =
             squirrel_hash::par::parallel_map(&assignments, threads, |_i, &node| {
                 let mut bytes = Vec::with_capacity(blocks.len() * bs as usize);
                 if let Some(cache) = caches.get(&node) {
                     for &b in &blocks {
                         let data = cache
                             .read_through(&nodes[node].ccvol, &name, b)
-                            .expect("hoarded cache file exists");
+                            .ok_or(SquirrelError::MissingCache {
+                                node: node as NodeId,
+                                image,
+                            })?;
                         bytes.extend_from_slice(&data);
                     }
                 } else {
@@ -752,8 +1025,12 @@ impl Squirrel {
                         bytes.extend_from_slice(&buf);
                     }
                 }
-                (bytes.len() as u64, squirrel_hash::ContentHash::of(&bytes).to_hex())
+                Ok((bytes.len() as u64, squirrel_hash::ContentHash::of(&bytes).to_hex()))
             });
+        let mut per_vm = Vec::with_capacity(raw.len());
+        for r in raw {
+            per_vm.push(r?);
+        }
 
         let bytes_served: u64 = per_vm.iter().map(|(n, _)| n).sum();
         let mut concat = String::new();
@@ -805,6 +1082,9 @@ impl Squirrel {
         self.obs.add("squirrel_boot_storm_bytes_total", bytes_served);
         self.obs.add("squirrel_boot_storm_copies_avoided_total", arc.hits);
         self.obs.add("squirrel_boot_storm_net_bytes_total", net_bytes);
+        if degraded_vms > 0 {
+            self.obs.add("squirrel_boot_degraded_total", u64::from(degraded_vms));
+        }
         span.field("warm_vms", u64::from(warm_vms));
         span.field("cold_vms", u64::from(cold_vms));
         span.field("bytes_served", bytes_served);
@@ -816,6 +1096,7 @@ impl Squirrel {
             threads,
             warm_vms,
             cold_vms,
+            degraded_vms,
             blocks_per_vm: blocks.len() as u64,
             bytes_served,
             net_bytes,
@@ -918,16 +1199,16 @@ impl Squirrel {
                 let stream = self
                     .scvol
                     .send_between(Some(base), &sc_latest)
-                    .expect("both snapshots exist");
+                    .map_err(SquirrelError::Send)?;
                 let wire = stream.wire_bytes();
-                self.net.unicast(storage, node, wire);
-                // Same application path as the registration multicast,
-                // with a single catch-up target.
-                stream
-                    .apply_all(vec![&mut self.nodes[idx].ccvol], self.config.threads)
-                    .pop()
-                    .expect("one target")
-                    .map_err(SquirrelError::Recv)?;
+                // A partitioned storage link leaves the node online but
+                // still lagging; repair_replication retries later.
+                self.net
+                    .try_unicast(storage, node, wire)
+                    .map_err(SquirrelError::Net)?;
+                // The transactional recv applies the catch-up stream
+                // all-or-nothing.
+                self.nodes[idx].ccvol.recv(&stream).map_err(SquirrelError::Recv)?;
                 self.obs.add_with("squirrel_rejoin_total", &[("outcome", "incremental")], 1);
                 self.obs.add("squirrel_rejoin_wire_bytes_total", wire);
                 span.field("outcome", "incremental");
@@ -940,20 +1221,18 @@ impl Squirrel {
         let stream = self
             .scvol
             .send_between(None, &sc_latest)
-            .expect("latest snapshot exists");
+            .map_err(SquirrelError::Send)?;
         let wire = stream.wire_bytes();
-        self.net.unicast(storage, node, wire);
+        self.net
+            .try_unicast(storage, node, wire)
+            .map_err(SquirrelError::Net)?;
         let mut fresh = ZPool::new(
             PoolConfig::new(self.config.block_size, self.config.codec)
                 .with_threads(self.config.threads),
         );
         // The rebuilt pool records into the same shared ccVolume series.
         fresh.set_metrics(&self.ccvol_obs);
-        stream
-            .apply_all(vec![&mut fresh], self.config.threads)
-            .pop()
-            .expect("one target")
-            .map_err(SquirrelError::Recv)?;
+        fresh.recv(&stream).map_err(SquirrelError::Recv)?;
         self.nodes[idx].ccvol = fresh;
         self.obs.add_with("squirrel_rejoin_total", &[("outcome", "full-replication")], 1);
         self.obs.add("squirrel_rejoin_wire_bytes_total", wire);
@@ -1000,8 +1279,12 @@ impl Squirrel {
             let blocks = len.div_ceil(bs as u64);
             for b in 0..blocks {
                 // The decompressed buffer moves into the CoR layer as a
-                // shared payload: one decompression, zero copies.
-                let data = n.ccvol.read_block_shared(&name, b).expect("file exists");
+                // shared payload: one decompression, zero copies. Holes (or
+                // a cache mutated underneath us) simply aren't prewarmed —
+                // the CoR layer fetches them from the backing image.
+                let Some(data) = n.ccvol.read_block_shared(&name, b) else {
+                    continue;
+                };
                 chain.backing().prepopulate_shared(b, data);
             }
         }
@@ -1098,6 +1381,172 @@ impl Squirrel {
             .is_some_and(|n| n.ccvol.has_file(&Self::cache_file_name(image)))
     }
 
+    // --- fault injection & self-healing recovery ---------------------------
+
+    /// Fault hook: rot the `nth` unique block (mod the pool's block count)
+    /// of `node`'s ccVolume. Returns the corrupted key, or `None` for an
+    /// unknown node or empty pool.
+    pub fn corrupt_cc_block(&mut self, node: NodeId, nth: u64) -> Option<BlockKey> {
+        let n = self.nodes.get_mut(node as usize)?;
+        let key = n.ccvol.corrupt_nth_block(nth);
+        if key.is_some() {
+            self.obs.inc("squirrel_fault_block_corruptions_total");
+        }
+        key
+    }
+
+    /// Fault hook: rot the `nth` unique block of the scVolume itself.
+    pub fn corrupt_sc_block(&mut self, nth: u64) -> Option<BlockKey> {
+        let key = self.scvol.corrupt_nth_block(nth);
+        if key.is_some() {
+            self.obs.inc("squirrel_fault_block_corruptions_total");
+        }
+        key
+    }
+
+    /// Integrity walk over `node`'s ccVolume (no repair). `None` for an
+    /// unknown node.
+    pub fn scrub_node(&self, node: NodeId) -> Option<ScrubReport> {
+        self.nodes.get(node as usize).map(|n| n.ccvol.scrub())
+    }
+
+    /// Integrity walk over the scVolume (no repair).
+    pub fn scrub_scvol(&self) -> ScrubReport {
+        self.scvol.scrub()
+    }
+
+    /// Scrub `node`'s ccVolume and re-fetch every corrupt record from the
+    /// scVolume's authoritative copy, charging the transfer to the network
+    /// ledgers. A donor record that is itself rotten — or a partitioned
+    /// storage link — leaves the block unrepaired.
+    pub fn scrub_and_repair(&mut self, node: NodeId) -> Result<RepairReport, SquirrelError> {
+        let idx = node as usize;
+        if idx >= self.nodes.len() {
+            return Err(SquirrelError::NoSuchNode(node));
+        }
+        let mut span = self.obs.span("repair");
+        span.field("node", node);
+        let storage = self.config.compute_nodes;
+        let scrub = self.nodes[idx].ccvol.scrub();
+        let mut report = RepairReport {
+            node: Some(node),
+            blocks_checked: scrub.blocks_checked,
+            corrupt_found: scrub.corrupt.len() as u64,
+            repaired: 0,
+            unrepaired: 0,
+            refetch_bytes: 0,
+        };
+        for key in &scrub.corrupt {
+            // 16-byte key + 4-byte psize + 4-byte length: the stream
+            // payload's per-record framing.
+            let fixed = match self.scvol.payload_of(*key) {
+                Some((psize, frame)) => {
+                    let bytes = u64::from(psize) + 24;
+                    match self.net.try_unicast(storage, node, bytes) {
+                        Ok(_) => {
+                            report.refetch_bytes += bytes;
+                            self.nodes[idx].ccvol.repair_block(*key, psize, &frame)
+                        }
+                        Err(_) => false,
+                    }
+                }
+                None => false,
+            };
+            if fixed {
+                report.repaired += 1;
+            } else {
+                report.unrepaired += 1;
+            }
+        }
+        self.record_repair(&report);
+        span.field("corrupt_found", report.corrupt_found);
+        span.field("repaired", report.repaired);
+        Ok(report)
+    }
+
+    /// Scrub the scVolume and heal every corrupt record from the first
+    /// online compute node hoarding an intact copy — the scatter hoard
+    /// itself is the redundancy. Donors serving a rotten copy are charged
+    /// but rejected ([`ZPool::repair_block`] verifies before installing).
+    pub fn scrub_and_repair_scvol(&mut self) -> RepairReport {
+        let mut span = self.obs.span("repair");
+        span.field("node", "scvol");
+        let storage = self.config.compute_nodes;
+        let scrub = self.scvol.scrub();
+        let mut report = RepairReport {
+            node: None,
+            blocks_checked: scrub.blocks_checked,
+            corrupt_found: scrub.corrupt.len() as u64,
+            repaired: 0,
+            unrepaired: 0,
+            refetch_bytes: 0,
+        };
+        for key in &scrub.corrupt {
+            let mut fixed = false;
+            for idx in 0..self.nodes.len() {
+                if !self.nodes[idx].online {
+                    continue;
+                }
+                let Some((psize, frame)) = self.nodes[idx].ccvol.payload_of(*key) else {
+                    continue;
+                };
+                let bytes = u64::from(psize) + 24;
+                if self.net.try_unicast(idx as NodeId, storage, bytes).is_err() {
+                    continue;
+                }
+                report.refetch_bytes += bytes;
+                if self.scvol.repair_block(*key, psize, &frame) {
+                    fixed = true;
+                    break;
+                }
+            }
+            if fixed {
+                report.repaired += 1;
+            } else {
+                report.unrepaired += 1;
+            }
+        }
+        self.record_repair(&report);
+        span.field("corrupt_found", report.corrupt_found);
+        span.field("repaired", report.repaired);
+        report
+    }
+
+    fn record_repair(&self, report: &RepairReport) {
+        self.obs.inc("squirrel_repair_runs_total");
+        self.obs.add("squirrel_repair_blocks_total", report.repaired);
+        self.obs.add("squirrel_repair_unrepaired_total", report.unrepaired);
+        self.obs.add("squirrel_repair_bytes_total", report.refetch_bytes);
+    }
+
+    /// Pull every lagging *online* node back in sync through the rejoin
+    /// path (incremental stream, or full re-replication when the base
+    /// snapshot is gone). Nodes behind a partitioned link stay lagging and
+    /// are reported as failed; re-run after the cut heals.
+    pub fn repair_replication(&mut self) -> SyncRepairReport {
+        let lagging = self.check_replication().lagging_nodes();
+        let mut report = SyncRepairReport {
+            lagging: lagging.len() as u32,
+            repaired: 0,
+            failed: 0,
+            wire_bytes: 0,
+        };
+        for node in lagging {
+            match self.node_rejoin(node) {
+                Ok(RejoinOutcome::Incremental { wire_bytes })
+                | Ok(RejoinOutcome::FullReplication { wire_bytes }) => {
+                    report.repaired += 1;
+                    report.wire_bytes += wire_bytes;
+                }
+                Ok(RejoinOutcome::UpToDate) => report.repaired += 1,
+                Err(_) => report.failed += 1,
+            }
+        }
+        self.obs.inc("squirrel_repair_sync_runs_total");
+        self.obs.add("squirrel_repair_sync_nodes_total", u64::from(report.repaired));
+        report
+    }
+
     // --- introspection for experiments and tests ---------------------------
 
     pub fn registered_images(&self) -> Vec<ImageId> {
@@ -1149,13 +1598,10 @@ impl Squirrel {
     /// [`ReplicationReport::is_consistent`].
     pub fn check_replication(&self) -> ReplicationReport {
         let reference_snapshot = self.scvol.latest_snapshot().map(|s| s.to_string());
-        let reference: Vec<&str> = match &reference_snapshot {
-            Some(tag) => self
-                .scvol
-                .snapshot_file_names(tag)
-                .expect("latest snapshot exists"),
-            None => self.scvol.file_names().collect(),
-        };
+        let reference: Vec<&str> = reference_snapshot
+            .as_ref()
+            .and_then(|tag| self.scvol.snapshot_file_names(tag))
+            .unwrap_or_else(|| self.scvol.file_names().collect());
         let nodes = self
             .nodes
             .iter()
@@ -1311,7 +1757,7 @@ mod tests {
         sq.register(1).expect("r1");
         sq.advance_days(10);
         sq.register(2).expect("r2");
-        sq.gc(); // collects vmi-0 and vmi-1 (older than the window)
+        let _ = sq.gc(); // collects vmi-0 and vmi-1 (older than the window)
         let outcome = sq.node_rejoin(1).expect("rejoin");
         assert!(
             matches!(outcome, RejoinOutcome::FullReplication { .. }),
@@ -1325,7 +1771,7 @@ mod tests {
         let mut sq = small_system(2);
         sq.register(0).expect("r0");
         sq.advance_days(100);
-        sq.gc();
+        let _ = sq.gc();
         assert!(sq.scvol_stats().unique_blocks > 0);
         // Latest snapshot must survive.
         let outcome = sq.node_rejoin(0).expect("rejoin");
@@ -1487,7 +1933,7 @@ mod tests {
     fn boot_storm_mixes_warm_and_cold_nodes() {
         let mut sq = small_system(3);
         sq.register(0).expect("register");
-        sq.evict_cache(2, 0).expect("evict");
+        let _ = sq.evict_cache(2, 0).expect("evict");
         sq.network_mut().reset_ledgers();
         let storm = sq.boot_storm(0, 6).expect("storm");
         // Round-robin: VMs 2 and 5 land on the evicted node 2.
@@ -1606,7 +2052,7 @@ mod tests {
         let r = sq.register(0).expect("register");
         sq.boot(0, 0).expect("warm boot");
         sq.boot(1, 3).expect("cold boot");
-        sq.gc();
+        let _ = sq.gc();
         let snap = sq.metrics().snapshot();
         assert_eq!(snap.counter("squirrel_register_total"), Some(1));
         assert_eq!(
@@ -1657,5 +2103,197 @@ mod tests {
         assert!(err.source().is_some());
         assert!(err.to_string().contains("snapshot stream rejected"));
         assert_eq!(SquirrelError::NodeOffline(1).source().map(|_| ()), None);
+        let err = SquirrelError::Net(NetError::SelfTransfer { node: 3 });
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("transfer failed"));
+    }
+
+    // --- churn edge cases ---------------------------------------------------
+
+    #[test]
+    fn node_offline_twice_is_idempotent() {
+        let mut sq = small_system(3);
+        sq.register(0).expect("r0");
+        sq.node_offline(1).expect("first offline");
+        sq.node_offline(1).expect("second offline is a no-op");
+        assert!(!sq.node_is_online(1));
+        sq.register(1).expect("r1");
+        let outcome = sq.node_rejoin(1).expect("rejoin");
+        assert!(matches!(outcome, RejoinOutcome::Incremental { .. }), "{outcome:?}");
+        assert!(sq.check_replication().is_consistent());
+    }
+
+    #[test]
+    fn rejoin_of_never_offline_node_is_up_to_date() {
+        let mut sq = small_system(3);
+        sq.register(0).expect("r0");
+        sq.register(1).expect("r1");
+        assert!(sq.node_is_online(2));
+        let outcome = sq.node_rejoin(2).expect("rejoin");
+        assert_eq!(outcome, RejoinOutcome::UpToDate);
+        assert!(sq.node_is_online(2));
+        assert!(sq.check_replication().is_consistent());
+    }
+
+    #[test]
+    fn boot_storm_skips_offline_nodes() {
+        let mut sq = small_system(4);
+        sq.register(0).expect("register");
+        sq.node_offline(1).expect("offline");
+        sq.node_offline(3).expect("offline");
+        sq.network_mut().reset_ledgers();
+        let storm = sq.boot_storm(0, 6).expect("storm");
+        assert_eq!((storm.warm_vms, storm.cold_vms), (6, 0));
+        // Round-robin lands only on the online nodes 0 and 2.
+        assert_eq!(sq.network().ledger(1).rx_bytes, 0);
+        assert_eq!(sq.network().ledger(3).rx_bytes, 0);
+    }
+
+    #[test]
+    fn gc_while_offline_then_rejoin_across_retention_window() {
+        let mut sq = small_system(3);
+        sq.register(0).expect("r0");
+        sq.node_offline(2).expect("offline");
+        // Several registration+gc cycles pass while the node is down; its
+        // base snapshot ages out of the window and is collected.
+        for (i, img) in [1u32, 2, 3].iter().enumerate() {
+            sq.advance_days(sq.config().gc_window_days + 1);
+            sq.register(*img).expect("register");
+            let gc = sq.gc();
+            assert!(gc.snapshots_collected > 0, "cycle {i}: {gc:?}");
+        }
+        let outcome = sq.node_rejoin(2).expect("rejoin");
+        assert!(matches!(outcome, RejoinOutcome::FullReplication { .. }), "{outcome:?}");
+        assert!(sq.check_replication().is_consistent());
+        assert!(sq.boot(2, 3).expect("boot").warm, "rebuilt hoard serves warm");
+    }
+
+    // --- fault injection & recovery -----------------------------------------
+
+    #[test]
+    fn degraded_boot_falls_back_to_shared_storage_until_repaired() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("register");
+        let key = sq.corrupt_cc_block(1, 0).expect("victim block");
+        sq.network_mut().reset_ledgers();
+
+        let out = sq.boot(1, 0).expect("degraded boot");
+        assert!(!out.warm && out.degraded, "{out:?}");
+        assert!(out.net_bytes > 0, "degraded boot pulls from shared storage");
+        let snap = sq.metrics().snapshot();
+        assert_eq!(snap.counter("squirrel_boot_degraded_total"), Some(1));
+
+        let repair = sq.scrub_and_repair(1).expect("repair");
+        assert_eq!((repair.corrupt_found, repair.repaired, repair.unrepaired), (1, 1, 0));
+        assert!(repair.is_healed());
+        assert!(repair.refetch_bytes > 0, "repair is charged to the network");
+        assert!(sq.scrub_node(1).expect("node").is_clean());
+        let _ = key;
+
+        let out = sq.boot(1, 0).expect("healed boot");
+        assert!(out.warm && !out.degraded, "{out:?}");
+    }
+
+    #[test]
+    fn boot_storm_serves_corrupt_node_degraded() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("register");
+        sq.corrupt_cc_block(1, 3).expect("corrupt");
+        let storm = sq.boot_storm(0, 4).expect("storm");
+        assert_eq!((storm.warm_vms, storm.cold_vms, storm.degraded_vms), (2, 2, 2));
+        assert!(storm.net_bytes > 0);
+    }
+
+    #[test]
+    fn scvol_heals_from_intact_ccvol_replicas() {
+        let mut sq = small_system(3);
+        sq.register(0).expect("register");
+        sq.corrupt_sc_block(1).expect("corrupt");
+        assert!(!sq.scrub_scvol().is_clean());
+        let repair = sq.scrub_and_repair_scvol();
+        assert_eq!((repair.node, repair.repaired, repair.unrepaired), (None, 1, 0));
+        assert!(sq.scrub_scvol().is_clean());
+    }
+
+    #[test]
+    fn register_under_total_loss_gives_up_then_repair_replication_recovers() {
+        use squirrel_faults::{FaultConfig, FaultPlan};
+        let mut sq = small_system(3);
+        sq.register(0).expect("clean register");
+        // Every delivery attempt drops; retries are exhausted immediately.
+        let config = FaultConfig { drop_prob: 1.0, max_retries: 1, ..FaultConfig::default() };
+        sq.set_fault_plan(FaultPlan::new(9, config));
+        let r = sq.register(1).expect("register survives total loss");
+        assert_eq!(r.nodes_updated, 0);
+        let fault = sq.fault_report().expect("armed");
+        assert_eq!(fault.giveups, 3);
+        assert_eq!(fault.net_drops, 6, "two attempts per node");
+        assert!(!sq.check_replication().is_consistent());
+
+        // The plan stays armed: the repair path itself must work under it.
+        let sync = sq.repair_replication();
+        assert_eq!((sync.lagging, sync.repaired, sync.failed), (3, 3, 0));
+        assert!(sync.all_repaired());
+        assert!(sq.check_replication().is_consistent());
+    }
+
+    #[test]
+    fn register_behind_partition_leaves_node_lagging_until_heal() {
+        use squirrel_faults::FaultPlan;
+        let mut sq = small_system(3);
+        sq.register(0).expect("clean register");
+        let storage = sq.config().compute_nodes;
+        sq.network_mut().partition(storage, 2);
+        // A quiet plan injects nothing; the partition alone blocks node 2.
+        sq.set_fault_plan(FaultPlan::quiet(5));
+        let r = sq.register(1).expect("register");
+        assert_eq!(r.nodes_updated, 2);
+        assert_eq!(sq.check_replication().lagging_nodes(), vec![2]);
+        // Repair can't reach it either, until the cut heals.
+        let sync = sq.repair_replication();
+        assert_eq!((sync.repaired, sync.failed), (0, 1));
+        sq.network_mut().heal_all();
+        let sync = sq.repair_replication();
+        assert_eq!((sync.repaired, sync.failed), (1, 0));
+        assert!(sq.check_replication().is_consistent());
+    }
+
+    #[test]
+    fn faulty_register_is_deterministic_per_seed_and_thread_count() {
+        use squirrel_faults::{FaultConfig, FaultPlan};
+        let run = |threads: usize, seed: u64| {
+            let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+            let mut sq = Squirrel::new(
+                SquirrelConfig {
+                    compute_nodes: 4,
+                    block_size: 16 * 1024,
+                    threads,
+                    ..Default::default()
+                },
+                corpus,
+            );
+            sq.set_fault_plan(FaultPlan::new(seed, FaultConfig::chaos()));
+            let r0 = sq.register(0).expect("r0");
+            let r1 = sq.register(1).expect("r1");
+            let fault = sq.clear_fault_plan().expect("armed").report();
+            ((r0.nodes_updated, r1.nodes_updated), fault, sq.metrics().snapshot())
+        };
+        let reference = run(1, 21);
+        for threads in [2, 8] {
+            assert_eq!(run(threads, 21), reference, "threads={threads}");
+        }
+        assert_ne!(run(1, 22).1, reference.1, "different seed, different schedule");
+    }
+
+    #[test]
+    fn repair_errors_on_unknown_node_and_empty_pools() {
+        let mut sq = small_system(2);
+        assert!(matches!(sq.scrub_and_repair(9), Err(SquirrelError::NoSuchNode(9))));
+        assert_eq!(sq.corrupt_cc_block(9, 0), None);
+        assert_eq!(sq.corrupt_cc_block(0, 0), None, "empty pool has no victim");
+        assert_eq!(sq.corrupt_sc_block(0), None);
+        let repair = sq.scrub_and_repair(0).expect("empty pool repair");
+        assert_eq!(repair.corrupt_found, 0);
+        assert!(repair.is_healed());
     }
 }

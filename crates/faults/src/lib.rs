@@ -1,0 +1,532 @@
+//! Deterministic, seeded fault injection for the Squirrel reproduction.
+//!
+//! The paper's central robustness claim is that a compute node can lose its
+//! cache, crash mid-replication, or fall off the network and the cluster
+//! still boots VMs. This crate supplies the *adversary* for exercising that
+//! claim: a [`FaultPlan`] — a seeded schedule of network faults (dropped,
+//! duplicated, transiently failing transfers, per-link partitions), storage
+//! faults (bit-flips in encoded send streams, ccVolume block corruption,
+//! crashes mid-`recv`), and node churn (offline/rejoin/flap sequences).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** Every decision comes from one SplitMix64 stream
+//!    seeded at construction; the same seed yields the same fault schedule,
+//!    so a chaos soak is bit-reproducible and thread-count independent as
+//!    long as the plan is only consulted from serial orchestration code.
+//! 2. **Std-only, leaf crate.** No dependencies; node ids are plain `u32`
+//!    (mirroring `squirrel_cluster::NodeId`), so every layer can take a plan
+//!    without dependency cycles.
+//! 3. **Accountable.** Every injected fault is counted in a [`FaultReport`]
+//!    the recovery layer surfaces next to its repair metrics.
+
+/// Node identifier; mirrors `squirrel_cluster::NodeId` without the dep.
+pub type NodeId = u32;
+
+/// SplitMix64 — the same tiny full-period generator the dataset crate uses
+/// for content synthesis (duplicated here to keep this crate a leaf).
+#[derive(Clone, Debug)]
+struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    fn new(seed: u64) -> Self {
+        FaultRng { state: seed ^ 0x5bd1_e995_9d1b_58d3 }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    #[inline]
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    #[inline]
+    fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+/// Per-operation fault probabilities and the recovery policy knobs.
+///
+/// All probabilities are per *consultation* (one transfer attempt, one recv,
+/// one simulated day's churn draw), in `[0, 1]`. [`Default`] is completely
+/// quiet — a plan built from it injects nothing, so wiring a plan through a
+/// workflow is behavior-preserving until rates are raised.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// A transfer's payload is lost in flight (charged, then retried).
+    pub drop_prob: f64,
+    /// A transfer is delivered twice (the duplicate is charged too).
+    pub duplicate_prob: f64,
+    /// The link throws a transient error before any bytes move.
+    pub transient_prob: f64,
+    /// One bit of the encoded send stream flips in flight.
+    pub stream_corrupt_prob: f64,
+    /// The receiver crashes mid-`recv` (transactional recv rolls back).
+    pub crash_recv_prob: f64,
+    /// One stored ccVolume/scVolume block silently rots, per day.
+    pub block_corrupt_prob: f64,
+    /// A random online node fail-stops, per churn draw.
+    pub offline_prob: f64,
+    /// A random offline node comes back, per churn draw.
+    pub rejoin_prob: f64,
+    /// A node flaps: goes down and immediately rejoins, per churn draw.
+    pub flap_prob: f64,
+    /// A random storage↔compute link partitions, per draw.
+    pub partition_prob: f64,
+    /// A partitioned link heals, per draw.
+    pub heal_prob: f64,
+    /// Delivery attempts after the first before the sender gives up.
+    pub max_retries: u32,
+    /// First retry backoff; attempt `k` waits `base * 2^k` seconds.
+    pub backoff_base_secs: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            transient_prob: 0.0,
+            stream_corrupt_prob: 0.0,
+            crash_recv_prob: 0.0,
+            block_corrupt_prob: 0.0,
+            offline_prob: 0.0,
+            rejoin_prob: 0.0,
+            flap_prob: 0.0,
+            partition_prob: 0.0,
+            heal_prob: 0.0,
+            max_retries: 4,
+            backoff_base_secs: 0.05,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A lively schedule for chaos soaks: every fault class enabled at
+    /// rates high enough to fire many times over a simulated month, low
+    /// enough that bounded retries almost always converge.
+    pub fn chaos() -> Self {
+        FaultConfig {
+            drop_prob: 0.08,
+            duplicate_prob: 0.04,
+            transient_prob: 0.06,
+            stream_corrupt_prob: 0.06,
+            crash_recv_prob: 0.05,
+            block_corrupt_prob: 0.35,
+            offline_prob: 0.20,
+            rejoin_prob: 0.45,
+            flap_prob: 0.10,
+            partition_prob: 0.15,
+            heal_prob: 0.40,
+            max_retries: 6,
+            backoff_base_secs: 0.05,
+        }
+    }
+}
+
+/// Outcome of consulting the plan about one transfer delivery attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferFault {
+    /// The transfer goes through normally.
+    Delivered,
+    /// Payload lost in flight: bytes were charged, nothing arrived.
+    Drop,
+    /// Payload arrives twice (receiver must deduplicate).
+    Duplicate,
+    /// The link errors before any bytes move.
+    Transient,
+}
+
+/// One step of a node-churn script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Fail-stop: the node goes offline.
+    Offline(NodeId),
+    /// The node comes back and wants to catch up.
+    Rejoin(NodeId),
+    /// Down-and-up within one step (rejoin immediately follows offline).
+    Flap(NodeId),
+}
+
+/// One step of a partition schedule, on the storage↔compute links the
+/// propagation path uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionEvent {
+    /// Cut the link between two nodes.
+    Cut(NodeId, NodeId),
+    /// Heal the link between two nodes.
+    Heal(NodeId, NodeId),
+}
+
+/// Tally of every fault the plan injected. Returned by
+/// [`FaultPlan::report`]; the recovery layer surfaces it next to its
+/// `squirrel_repair_*` metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use]
+pub struct FaultReport {
+    pub net_drops: u64,
+    pub net_duplicates: u64,
+    pub net_transients: u64,
+    pub stream_corruptions: u64,
+    pub recv_crashes: u64,
+    pub block_corruptions: u64,
+    pub offlines: u64,
+    pub rejoins: u64,
+    pub flaps: u64,
+    pub partitions: u64,
+    pub heals: u64,
+    /// Delivery retries the recovery layer reported back via
+    /// [`FaultPlan::note_retry`].
+    pub retries: u64,
+    /// Deliveries abandoned after `max_retries` (the node is left lagging
+    /// for the repair workflow).
+    pub giveups: u64,
+}
+
+impl FaultReport {
+    /// Total faults injected (excluding the recovery-side retry/giveup
+    /// tallies).
+    pub fn total_injected(&self) -> u64 {
+        self.net_drops
+            + self.net_duplicates
+            + self.net_transients
+            + self.stream_corruptions
+            + self.recv_crashes
+            + self.block_corruptions
+            + self.offlines
+            + self.rejoins
+            + self.flaps
+            + self.partitions
+            + self.heals
+    }
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// The plan is a consumable oracle: workflows ask it questions ("does this
+/// transfer fail?", "does this recv crash?") in their serial orchestration
+/// sections, and the answers — driven by one SplitMix64 stream — are
+/// identical run to run for the same seed and question order. Never consult
+/// a plan from inside a parallel region; decide first, fan out after.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rng: FaultRng,
+    config: FaultConfig,
+    report: FaultReport,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        FaultPlan { seed, rng: FaultRng::new(seed), config, report: FaultReport::default() }
+    }
+
+    /// A plan that injects nothing (all probabilities zero) but still
+    /// carries the retry policy — useful for wiring tests.
+    pub fn quiet(seed: u64) -> Self {
+        Self::new(seed, FaultConfig::default())
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Everything injected so far.
+    pub fn report(&self) -> FaultReport {
+        self.report
+    }
+
+    /// Decide the fate of one transfer delivery attempt.
+    pub fn transfer_fault(&mut self) -> TransferFault {
+        // One draw per class, in fixed order, so the schedule is stable
+        // under probability tweaks to later classes.
+        if self.rng.chance(self.config.drop_prob) {
+            self.report.net_drops += 1;
+            return TransferFault::Drop;
+        }
+        if self.rng.chance(self.config.transient_prob) {
+            self.report.net_transients += 1;
+            return TransferFault::Transient;
+        }
+        if self.rng.chance(self.config.duplicate_prob) {
+            self.report.net_duplicates += 1;
+            return TransferFault::Duplicate;
+        }
+        TransferFault::Delivered
+    }
+
+    /// Maybe flip one bit of an encoded stream in flight. Returns `true`
+    /// when a bit was flipped (and counted).
+    pub fn corrupt_stream(&mut self, bytes: &mut [u8]) -> bool {
+        if bytes.is_empty() || !self.rng.chance(self.config.stream_corrupt_prob) {
+            return false;
+        }
+        let bit = self.rng.below(bytes.len() as u64 * 8);
+        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        self.report.stream_corruptions += 1;
+        true
+    }
+
+    /// Does this `recv` crash mid-apply?
+    pub fn crash_mid_recv(&mut self) -> bool {
+        let crash = self.rng.chance(self.config.crash_recv_prob);
+        if crash {
+            self.report.recv_crashes += 1;
+        }
+        crash
+    }
+
+    /// Maybe rot one stored block this step. Returns the victim: `None`
+    /// node means the scVolume, otherwise a compute node in `[0, nodes)`;
+    /// the `u64` selects the nth unique block (mod the pool's block count).
+    pub fn block_corruption(&mut self, nodes: NodeId) -> Option<(Option<NodeId>, u64)> {
+        if nodes == 0 || !self.rng.chance(self.config.block_corrupt_prob) {
+            return None;
+        }
+        self.report.block_corruptions += 1;
+        // One draw in [0, nodes]: the last value targets the scVolume.
+        let pick = self.rng.below(nodes as u64 + 1);
+        let victim = if pick == nodes as u64 { None } else { Some(pick as NodeId) };
+        Some((victim, self.rng.next_u64()))
+    }
+
+    /// Draw one churn event over `nodes` compute nodes, if any fires.
+    /// `online` reports whether a node is currently up, letting the plan
+    /// aim offlines at live nodes and rejoins at dead ones.
+    pub fn churn_event(
+        &mut self,
+        nodes: NodeId,
+        mut online: impl FnMut(NodeId) -> bool,
+    ) -> Option<ChurnEvent> {
+        if nodes == 0 {
+            return None;
+        }
+        let pick = self.rng.below(nodes as u64) as NodeId;
+        if self.rng.chance(self.config.flap_prob) {
+            self.report.flaps += 1;
+            return Some(ChurnEvent::Flap(pick));
+        }
+        if online(pick) {
+            if self.rng.chance(self.config.offline_prob) {
+                self.report.offlines += 1;
+                return Some(ChurnEvent::Offline(pick));
+            }
+        } else if self.rng.chance(self.config.rejoin_prob) {
+            self.report.rejoins += 1;
+            return Some(ChurnEvent::Rejoin(pick));
+        }
+        None
+    }
+
+    /// A whole offline/rejoin/flap script: `steps` draws over `nodes` nodes,
+    /// tracking the up/down state the draws themselves imply.
+    pub fn churn_script(&mut self, nodes: NodeId, steps: usize) -> Vec<ChurnEvent> {
+        let mut up = vec![true; nodes as usize];
+        let mut script = Vec::new();
+        for _ in 0..steps {
+            if let Some(ev) = self.churn_event(nodes, |n| up[n as usize]) {
+                match ev {
+                    ChurnEvent::Offline(n) => up[n as usize] = false,
+                    ChurnEvent::Rejoin(n) | ChurnEvent::Flap(n) => up[n as usize] = true,
+                }
+                script.push(ev);
+            }
+        }
+        script
+    }
+
+    /// Draw one partition event on the link between `storage` and a compute
+    /// node in `[0, nodes)`. `cut` reports whether that link is currently
+    /// partitioned, steering cuts at healthy links and heals at cut ones.
+    pub fn partition_event(
+        &mut self,
+        storage: NodeId,
+        nodes: NodeId,
+        mut cut: impl FnMut(NodeId) -> bool,
+    ) -> Option<PartitionEvent> {
+        if nodes == 0 {
+            return None;
+        }
+        let pick = self.rng.below(nodes as u64) as NodeId;
+        if cut(pick) {
+            if self.rng.chance(self.config.heal_prob) {
+                self.report.heals += 1;
+                return Some(PartitionEvent::Heal(storage, pick));
+            }
+        } else if self.rng.chance(self.config.partition_prob) {
+            self.report.partitions += 1;
+            return Some(PartitionEvent::Cut(storage, pick));
+        }
+        None
+    }
+
+    /// Deterministic exponential backoff: attempt `k` (0-based retry index)
+    /// waits `backoff_base_secs * 2^k` simulated seconds.
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        self.config.backoff_base_secs * f64::from(1u32 << attempt.min(16))
+    }
+
+    pub fn max_retries(&self) -> u32 {
+        self.config.max_retries
+    }
+
+    /// The recovery layer reports each delivery retry it performs.
+    pub fn note_retry(&mut self) {
+        self.report.retries += 1;
+    }
+
+    /// The recovery layer reports each delivery it abandoned.
+    pub fn note_giveup(&mut self) {
+        self.report.giveups += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mk = || {
+            let mut p = FaultPlan::new(42, FaultConfig::chaos());
+            let mut log = Vec::new();
+            for _ in 0..200 {
+                log.push(format!("{:?}", p.transfer_fault()));
+                log.push(format!("{:?}", p.crash_mid_recv()));
+                log.push(format!("{:?}", p.block_corruption(8)));
+                log.push(format!("{:?}", p.churn_event(8, |n| n % 2 == 0)));
+                log.push(format!("{:?}", p.partition_event(8, 8, |n| n == 3)));
+            }
+            (log, p.report())
+        };
+        let (a, ra) = mk();
+        let (b, rb) = mk();
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let mut p = FaultPlan::quiet(7);
+        let mut bytes = vec![0xaau8; 64];
+        for _ in 0..100 {
+            assert_eq!(p.transfer_fault(), TransferFault::Delivered);
+            assert!(!p.crash_mid_recv());
+            assert!(!p.corrupt_stream(&mut bytes));
+            assert_eq!(p.block_corruption(4), None);
+            assert_eq!(p.churn_event(4, |_| true), None);
+            assert_eq!(p.partition_event(4, 4, |_| false), None);
+        }
+        assert_eq!(p.report(), FaultReport::default());
+        assert_eq!(bytes, vec![0xaau8; 64]);
+    }
+
+    #[test]
+    fn chaos_plan_fires_every_class() {
+        let mut p = FaultPlan::new(2014, FaultConfig::chaos());
+        let mut bytes = vec![0u8; 256];
+        for _ in 0..600 {
+            let _ = p.transfer_fault();
+            let _ = p.crash_mid_recv();
+            let _ = p.corrupt_stream(&mut bytes);
+            let _ = p.block_corruption(8);
+            let _ = p.churn_event(8, |n| n % 3 != 0);
+            let _ = p.partition_event(8, 8, |n| n % 4 == 0);
+        }
+        let r = p.report();
+        assert!(r.net_drops > 0, "{r:?}");
+        assert!(r.net_duplicates > 0, "{r:?}");
+        assert!(r.net_transients > 0, "{r:?}");
+        assert!(r.stream_corruptions > 0, "{r:?}");
+        assert!(r.recv_crashes > 0, "{r:?}");
+        assert!(r.block_corruptions > 0, "{r:?}");
+        assert!(r.offlines > 0 && r.rejoins > 0 && r.flaps > 0, "{r:?}");
+        assert!(r.partitions > 0 && r.heals > 0, "{r:?}");
+        assert!(r.total_injected() > 0);
+    }
+
+    #[test]
+    fn corrupt_stream_flips_exactly_one_bit() {
+        let mut p = FaultPlan::new(
+            9,
+            FaultConfig { stream_corrupt_prob: 1.0, ..FaultConfig::default() },
+        );
+        let clean = vec![0x5cu8; 128];
+        let mut bytes = clean.clone();
+        assert!(p.corrupt_stream(&mut bytes));
+        let flipped: u32 = clean
+            .iter()
+            .zip(&bytes)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+        // Empty input: nothing to flip, nothing counted.
+        assert!(!p.corrupt_stream(&mut []));
+        assert_eq!(p.report().stream_corruptions, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_deterministically() {
+        let p = FaultPlan::quiet(1);
+        assert!((p.backoff_secs(0) - 0.05).abs() < 1e-12);
+        assert!((p.backoff_secs(1) - 0.10).abs() < 1e-12);
+        assert!((p.backoff_secs(3) - 0.40).abs() < 1e-12);
+        // Clamped exponent: no overflow for absurd attempt counts.
+        assert!(p.backoff_secs(40).is_finite());
+    }
+
+    #[test]
+    fn churn_script_is_state_consistent() {
+        let mut p = FaultPlan::new(77, FaultConfig::chaos());
+        let script = p.churn_script(6, 200);
+        assert!(!script.is_empty());
+        // Replay: offlines only hit nodes that are up, rejoins only nodes
+        // that are down.
+        let mut up = [true; 6];
+        for ev in script {
+            match ev {
+                ChurnEvent::Offline(n) => {
+                    assert!(up[n as usize], "offline of a down node");
+                    up[n as usize] = false;
+                }
+                ChurnEvent::Rejoin(n) => {
+                    assert!(!up[n as usize], "rejoin of an up node");
+                    up[n as usize] = true;
+                }
+                ChurnEvent::Flap(n) => up[n as usize] = true,
+            }
+        }
+    }
+
+    #[test]
+    fn retry_and_giveup_tallies_accumulate() {
+        let mut p = FaultPlan::quiet(3);
+        p.note_retry();
+        p.note_retry();
+        p.note_giveup();
+        let r = p.report();
+        assert_eq!((r.retries, r.giveups), (2, 1));
+        assert_eq!(r.total_injected(), 0, "recovery tallies are not injections");
+    }
+}

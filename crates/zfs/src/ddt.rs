@@ -67,10 +67,6 @@ impl DedupTable {
         self.entries.get(key)
     }
 
-    pub(crate) fn get_mut(&mut self, key: &BlockKey) -> Option<&mut DdtEntry> {
-        self.entries.get_mut(key)
-    }
-
     /// Add one reference to `key`, inserting a fresh entry (with `psize` and
     /// optional payload produced by `make`) when the block is new. Returns
     /// `true` when the block was new.
@@ -109,6 +105,26 @@ impl DedupTable {
         } else {
             false
         }
+    }
+
+    /// Swap the stored payload of `key`, keeping `physical_bytes` accounting
+    /// exact (the old psize is released, the new one charged). Refcount and
+    /// physical offset are untouched. This is the primitive under both
+    /// corruption injection and block repair. Returns `false` when the key
+    /// is absent.
+    pub(crate) fn replace_payload(
+        &mut self,
+        key: BlockKey,
+        psize: u32,
+        data: Option<SharedPayload>,
+    ) -> bool {
+        let Some(entry) = self.entries.get_mut(&key) else {
+            return false;
+        };
+        self.physical_bytes = self.physical_bytes - entry.psize as u64 + psize as u64;
+        entry.psize = psize;
+        entry.data = data;
+        true
     }
 
     /// Sum of all refcounts (diagnostic; equals the number of live block
@@ -177,6 +193,18 @@ mod tests {
     #[should_panic(expected = "release of unknown block")]
     fn release_unknown_panics() {
         DedupTable::new().release(&99);
+    }
+
+    #[test]
+    fn replace_payload_keeps_physical_bytes_exact() {
+        let mut t = DedupTable::new();
+        t.add_ref(1, payload(100));
+        t.add_ref(2, payload(50));
+        assert!(t.replace_payload(1, 30, Some(vec![1u8; 30].into())));
+        assert_eq!(t.physical_bytes(), 80);
+        assert_eq!(t.get(&1).expect("entry").psize, 30);
+        assert!(!t.replace_payload(9, 10, None), "absent key is a no-op");
+        assert_eq!(t.physical_bytes(), 80);
     }
 
     #[test]

@@ -41,9 +41,9 @@ pub mod stats;
 
 pub use arc::{ArcCache, ArcStats};
 pub use config::{PoolConfig, PoolConfigBuilder};
-pub use ddt::{DdtEntry, DedupTable, SharedPayload};
+pub use ddt::{BlockKey, DdtEntry, DedupTable, SharedPayload};
 pub use pool::{BlockRef, ZPool};
 pub use scrub::ScrubReport;
-pub use send::{DecodeError, RecvError, SendStream};
+pub use send::{DecodeError, RecvError, SendError, SendStream};
 pub use sharedarc::SharedArcCache;
 pub use stats::SpaceStats;

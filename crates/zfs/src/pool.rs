@@ -323,10 +323,6 @@ impl ZPool {
         &mut self.ddt
     }
 
-    pub(crate) fn ddt_mut_entry(&mut self, key: BlockKey) -> Option<&mut crate::ddt::DdtEntry> {
-        self.ddt.get_mut(&key)
-    }
-
     pub(crate) fn push_snapshot(&mut self, snap: Snapshot) {
         self.snapshots.push(snap);
     }

@@ -7,13 +7,14 @@
 //! running on a checksumming store — replicated ccVolumes make repair as
 //! easy as re-fetching from any peer.
 
-use crate::ddt::BlockKey;
+use crate::ddt::{BlockKey, SharedPayload};
 use crate::pool::ZPool;
 use squirrel_compress::{compress, decompress};
 use squirrel_hash::ContentHash;
 
 /// Result of one scrub pass.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[must_use]
 pub struct ScrubReport {
     /// Unique records examined.
     pub blocks_checked: u64,
@@ -53,25 +54,77 @@ impl ZPool {
         report
     }
 
-    /// Test hook: overwrite the stored payload of `key` with a validly
+    /// Fault hook: overwrite the stored payload of `key` with a validly
     /// framed record of *different* content, simulating silent on-disk
-    /// corruption that only a checksum walk can catch. Returns `false` if
-    /// the key is not present.
+    /// corruption that only a checksum walk can catch. Space accounting
+    /// follows the garbage record's size, as it would on a real disk.
+    /// Returns `false` if the key is not present.
     pub fn inject_corruption(&mut self, key: BlockKey) -> bool {
-        let codec = self.config().codec;
-        let bs = self.block_size();
-        let Some(entry) = self.ddt_mut_entry(key) else {
+        if self.ddt().get(&key).is_none() {
             return false;
-        };
+        }
+        let bs = self.block_size();
         // Deterministic garbage derived from the key.
         let mut garbage = vec![0u8; bs];
         for (i, b) in garbage.iter_mut().enumerate() {
             *b = (key as u8).wrapping_add(i as u8).wrapping_mul(31) | 1;
         }
-        let frame = compress(codec, &garbage);
-        entry.psize = frame.len() as u32;
-        entry.data = Some(frame.into());
-        true
+        let frame = compress(self.config().codec, &garbage);
+        self.ddt_mut()
+            .replace_payload(key, frame.len() as u32, Some(frame.into()))
+    }
+
+    /// Fault hook: corrupt the `nth` unique block in key order (mod the
+    /// block count, so any `u64` picks a victim deterministically). Returns
+    /// the corrupted key, or `None` for an empty pool.
+    pub fn corrupt_nth_block(&mut self, nth: u64) -> Option<BlockKey> {
+        let mut keys: Vec<BlockKey> = self.ddt().iter().map(|(k, _)| *k).collect();
+        if keys.is_empty() {
+            return None;
+        }
+        keys.sort_unstable();
+        let key = keys[(nth % keys.len() as u64) as usize];
+        self.inject_corruption(key).then_some(key)
+    }
+
+    /// The stored compressed record of `key`: `(psize, frame)`. `None` when
+    /// the key is absent or the pool is accounting-only. This is what a
+    /// repair peer serves to a node whose copy of the block rotted.
+    pub fn payload_of(&self, key: BlockKey) -> Option<(u32, SharedPayload)> {
+        let e = self.ddt().get(&key)?;
+        Some((e.psize, e.data.clone()?))
+    }
+
+    /// Install a replacement payload for a corrupted block, verifying first
+    /// that the decompressed content actually hashes to `key` — a repair
+    /// source that is itself corrupt is rejected. Returns `true` when the
+    /// block was repaired.
+    pub fn repair_block(&mut self, key: BlockKey, psize: u32, frame: &SharedPayload) -> bool {
+        if self.ddt().get(&key).is_none() {
+            return false;
+        }
+        let data = decompress(frame, self.block_size());
+        if ContentHash::of(&data).short() != key {
+            return false;
+        }
+        self.ddt_mut().replace_payload(key, psize, Some(frame.clone()))
+    }
+
+    /// Is every nonzero block of `name` intact (stored bytes still hash to
+    /// their key)? `None` when the file does not exist. The warm boot path
+    /// runs this before trusting a local cache; it is a per-file slice of
+    /// [`scrub`](Self::scrub).
+    pub fn file_is_intact(&self, name: &str) -> Option<bool> {
+        let bs = self.block_size();
+        let table = self.files().get(name)?;
+        for key in table.ptrs.iter().copied().flatten() {
+            let entry = self.ddt().get(&key).expect("dangling block pointer");
+            let frame = entry.data.as_ref().expect("intact check requires data");
+            if ContentHash::of(&decompress(frame, bs)).short() != key {
+                return Some(false);
+            }
+        }
+        Some(true)
     }
 }
 
@@ -122,6 +175,73 @@ mod tests {
         let (mut p, _) = pool_with_data();
         assert!(!p.inject_corruption(0xdead_beef));
         assert!(p.scrub().is_clean());
+    }
+
+    #[test]
+    fn corruption_keeps_physical_accounting_exact() {
+        let (mut p, keys) = pool_with_data();
+        p.inject_corruption(keys[1]);
+        let recomputed: u64 = p.ddt().iter().map(|(_, e)| e.psize as u64).sum();
+        assert_eq!(p.stats().physical_bytes, recomputed);
+    }
+
+    #[test]
+    fn repair_restores_scrub_clean() {
+        let (mut p, keys) = pool_with_data();
+        let (psize, frame) = p.payload_of(keys[3]).expect("intact payload");
+        assert!(p.inject_corruption(keys[3]));
+        assert!(!p.scrub().is_clean());
+        assert_eq!(p.file_is_intact("f"), Some(false));
+        assert!(p.repair_block(keys[3], psize, &frame));
+        assert!(p.scrub().is_clean());
+        assert_eq!(p.file_is_intact("f"), Some(true));
+        assert_eq!(p.read_block("f", 3).expect("file"), vec![4u8; 512]);
+    }
+
+    #[test]
+    fn repair_rejects_corrupt_source() {
+        let (mut p, keys) = pool_with_data();
+        let mut donor = {
+            let (d, _) = pool_with_data();
+            d
+        };
+        donor.inject_corruption(keys[0]);
+        let (psize, bad_frame) = donor.payload_of(keys[0]).expect("payload");
+        p.inject_corruption(keys[0]);
+        assert!(
+            !p.repair_block(keys[0], psize, &bad_frame),
+            "a corrupt donor must not be installed"
+        );
+        assert!(!p.scrub().is_clean(), "victim still corrupt");
+        // Unknown keys are refused too.
+        assert!(!p.repair_block(0xdead_beef, psize, &bad_frame));
+    }
+
+    #[test]
+    fn corrupt_nth_block_is_deterministic() {
+        let (mut a, _) = pool_with_data();
+        let (mut b, _) = pool_with_data();
+        let ka = a.corrupt_nth_block(41).expect("victim");
+        let kb = b.corrupt_nth_block(41).expect("victim");
+        assert_eq!(ka, kb, "same nth picks the same key");
+        assert_eq!(a.scrub().corrupt, vec![ka]);
+        // nth wraps mod the block count.
+        let (mut c, _) = pool_with_data();
+        let n = c.ddt().len() as u64;
+        assert_eq!(c.corrupt_nth_block(41 + 7 * n), Some(ka));
+        // Empty pool has no victim.
+        let mut empty = ZPool::new(PoolConfig::new(512, Codec::Lzjb));
+        assert_eq!(empty.corrupt_nth_block(0), None);
+    }
+
+    #[test]
+    fn file_is_intact_handles_holes_and_missing_files() {
+        let (p, _) = pool_with_data();
+        assert_eq!(p.file_is_intact("nope"), None);
+        let mut holey = ZPool::new(PoolConfig::new(512, Codec::Lzjb));
+        holey.create_file("h");
+        holey.write_block("h", 2, &vec![0u8; 512]);
+        assert_eq!(holey.file_is_intact("h"), Some(true), "holes are intact");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 
 use crate::ddt::{BlockKey, SharedPayload};
 use crate::pool::{FileTable, Snapshot, ZPool};
+use squirrel_compress::decompress;
+use squirrel_hash::ContentHash;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -63,6 +65,15 @@ pub enum RecvError {
     MissingBase(String),
     /// The tip snapshot already exists locally (stream replayed).
     DuplicateTip(String),
+    /// A payload block's content does not hash to its key — the stream was
+    /// built from (or became) corrupt data. Nothing was applied.
+    CorruptPayload(BlockKey),
+    /// An upsert references a block that is neither in the stream payload
+    /// nor already on the receiver. Nothing was applied.
+    MissingBlock(BlockKey),
+    /// The receiver crashed mid-apply; the transactional recv rolled back
+    /// and the pool is unchanged. Retrying the same stream is safe.
+    Interrupted,
 }
 
 impl std::fmt::Display for SendError {
@@ -78,6 +89,9 @@ impl std::fmt::Display for RecvError {
         match self {
             RecvError::MissingBase(t) => write!(f, "missing base snapshot {t}"),
             RecvError::DuplicateTip(t) => write!(f, "tip snapshot {t} already present"),
+            RecvError::CorruptPayload(k) => write!(f, "corrupt payload block {k:032x}"),
+            RecvError::MissingBlock(k) => write!(f, "stream missing payload block {k:032x}"),
+            RecvError::Interrupted => write!(f, "recv interrupted; rolled back"),
         }
     }
 }
@@ -96,6 +110,9 @@ pub enum DecodeError {
     Truncated,
     BadMagic,
     BadString,
+    /// The framed stream's trailing content digest does not match its body
+    /// (bit rot or in-flight corruption). See [`SendStream::decode_framed`].
+    BadChecksum,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -104,6 +121,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "stream truncated"),
             DecodeError::BadMagic => write!(f, "bad stream magic"),
             DecodeError::BadString => write!(f, "invalid utf-8 in stream"),
+            DecodeError::BadChecksum => write!(f, "stream checksum mismatch"),
         }
     }
 }
@@ -117,8 +135,14 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    /// Bytes left to read — the upper bound any adversarial length field is
+    /// clamped to before preallocating.
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.data.len() {
+        if n > self.remaining() {
             return Err(DecodeError::Truncated);
         }
         let s = &self.data[self.pos..self.pos + n];
@@ -155,6 +179,9 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
 }
 
 const STREAM_MAGIC: &[u8; 8] = b"SQRLSND1";
+const FRAME_MAGIC: &[u8; 8] = b"SQRLFRM1";
+/// Frame magic plus the trailing 16-byte content digest.
+const FRAME_OVERHEAD: usize = 8 + 16;
 
 impl SendStream {
     /// Serialize to the on-wire binary format (what a real deployment would
@@ -220,13 +247,16 @@ impl SendStream {
         };
         let tip = r.string()?;
 
+        // Every count is clamped to the bytes actually left in the buffer
+        // before preallocating: a corrupted length field can make the parse
+        // fail with `Truncated`, never reserve gigabytes.
         let n_upserts = r.u32()? as usize;
-        let mut upserts = Vec::with_capacity(n_upserts.min(1 << 20));
+        let mut upserts = Vec::with_capacity(n_upserts.min(r.remaining()));
         for _ in 0..n_upserts {
             let name = r.string()?;
             let len = r.u64()?;
             let n_ptrs = r.u32()? as usize;
-            let mut ptrs = Vec::with_capacity(n_ptrs.min(1 << 20));
+            let mut ptrs = Vec::with_capacity(n_ptrs.min(r.remaining()));
             for _ in 0..n_ptrs {
                 ptrs.push(match r.u8()? {
                     0 => None,
@@ -237,13 +267,13 @@ impl SendStream {
         }
 
         let n_deletes = r.u32()? as usize;
-        let mut deletes = Vec::with_capacity(n_deletes.min(1 << 20));
+        let mut deletes = Vec::with_capacity(n_deletes.min(r.remaining()));
         for _ in 0..n_deletes {
             deletes.push(r.string()?);
         }
 
         let n_payload = r.u32()? as usize;
-        let mut payload = Vec::with_capacity(n_payload.min(1 << 20));
+        let mut payload = Vec::with_capacity(n_payload.min(r.remaining()));
         for _ in 0..n_payload {
             let key = r.u128()?;
             let psize = r.u32()?;
@@ -258,6 +288,38 @@ impl SendStream {
         }
 
         Ok(SendStream { base, tip, upserts, deletes, payload })
+    }
+
+    /// [`encode`](Self::encode) wrapped in an integrity frame: a distinct
+    /// magic, the encoded body, and a trailing 128-bit content digest of the
+    /// body. This is what actually crosses the (faulty) network — any bit
+    /// flipped in flight makes [`decode_framed`](Self::decode_framed) fail
+    /// with [`DecodeError::BadChecksum`] instead of applying garbage. The
+    /// unframed `encode` format is unchanged (it is pinned by golden tests).
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let inner = self.encode();
+        let mut out = Vec::with_capacity(inner.len() + FRAME_OVERHEAD);
+        out.extend_from_slice(FRAME_MAGIC);
+        out.extend_from_slice(&inner);
+        out.extend_from_slice(&ContentHash::of(&inner).short().to_le_bytes());
+        out
+    }
+
+    /// Parse a stream produced by [`encode_framed`](Self::encode_framed),
+    /// verifying the trailing digest before touching the body.
+    pub fn decode_framed(data: &[u8]) -> Result<SendStream, DecodeError> {
+        if data.len() < FRAME_OVERHEAD {
+            return Err(DecodeError::Truncated);
+        }
+        if &data[..FRAME_MAGIC.len()] != FRAME_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let (inner, digest) = data[FRAME_MAGIC.len()..].split_at(data.len() - FRAME_OVERHEAD);
+        let expected = u128::from_le_bytes(digest.try_into().expect("16-byte digest"));
+        if ContentHash::of(inner).short() != expected {
+            return Err(DecodeError::BadChecksum);
+        }
+        Self::decode(inner)
     }
 
     /// Bytes this stream occupies on the network: compressed payload plus
@@ -395,11 +457,31 @@ impl ZPool {
         }
     }
 
-    /// Apply a stream. The receiver's latest snapshot must equal the
-    /// stream's base (or the stream must be full). On success the receiver's
-    /// live files match the sender's tip and a snapshot with the tip tag is
-    /// created locally.
+    /// Apply a stream **transactionally**. The receiver's latest snapshot
+    /// must equal the stream's base (or the stream must be full); every
+    /// payload block must hash to its key; every upsert pointer must resolve
+    /// to either a payload block or a block already present. All of that is
+    /// checked *before* the first mutation, so any `Err` leaves the pool
+    /// exactly as it was — a corrupt or impossible stream never half-applies.
+    /// On success the receiver's live files match the sender's tip and a
+    /// snapshot with the tip tag is created locally.
     pub fn recv(&mut self, stream: &SendStream) -> Result<(), RecvError> {
+        self.validate_recv(stream)?;
+        self.apply_stream(stream);
+        Ok(())
+    }
+
+    /// Fault hook: run the same validation `recv` runs, then "crash" before
+    /// the apply phase. The pool is untouched (that is the transactional
+    /// guarantee under test) and the caller sees [`RecvError::Interrupted`]
+    /// — or the stream's own validation error if it had one.
+    pub fn recv_crashed(&mut self, stream: &SendStream) -> Result<(), RecvError> {
+        self.validate_recv(stream)?;
+        Err(RecvError::Interrupted)
+    }
+
+    /// The fallible half of [`recv`](Self::recv): every check, no mutation.
+    fn validate_recv(&self, stream: &SendStream) -> Result<(), RecvError> {
         if self.has_snapshot(&stream.tip) {
             return Err(RecvError::DuplicateTip(stream.tip.clone()));
         }
@@ -408,6 +490,29 @@ impl ZPool {
                 return Err(RecvError::MissingBase(base.clone()));
             }
         }
+        let bs = self.block_size();
+        let mut incoming: BTreeSet<BlockKey> = BTreeSet::new();
+        for b in &stream.payload {
+            if let Some(frame) = &b.data {
+                if ContentHash::of(&decompress(frame, bs)).short() != b.key {
+                    return Err(RecvError::CorruptPayload(b.key));
+                }
+            }
+            incoming.insert(b.key);
+        }
+        for (_, meta) in &stream.upserts {
+            for key in meta.ptrs.iter().copied().flatten() {
+                if !incoming.contains(&key) && self.ddt().get(&key).is_none() {
+                    return Err(RecvError::MissingBlock(key));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The infallible half of [`recv`](Self::recv); only called on a
+    /// validated stream.
+    fn apply_stream(&mut self, stream: &SendStream) {
         self.meters.recv_streams.inc();
         self.meters.recv_wire_bytes.add(stream.wire_bytes());
 
@@ -427,7 +532,7 @@ impl ZPool {
             self.delete_file(name);
             for key in meta.ptrs.iter().flatten() {
                 self.ddt_mut()
-                    .add_ref(*key, || panic!("stream missing payload block"));
+                    .add_ref(*key, || unreachable!("validated stream resolves every block"));
             }
             self.files_mut().insert(
                 name.clone(),
@@ -448,16 +553,31 @@ impl ZPool {
             }
         }
         self.push_snapshot(snap);
-        Ok(())
     }
 }
 
 #[cfg(test)]
 mod proptests {
+    use super::SendStream;
     use crate::config::PoolConfig;
     use crate::pool::ZPool;
     use proptest::prelude::*;
     use squirrel_compress::Codec;
+
+    /// A representative wire image with upserts, deletes, and payload.
+    fn golden_wire_bytes() -> Vec<u8> {
+        let mut src = ZPool::new(PoolConfig::new(512, Codec::Lzjb));
+        src.create_file("cache-a");
+        for i in 0..3u8 {
+            src.write_block("cache-a", i as u64, &vec![i + 1; 512]);
+        }
+        src.snapshot("s1");
+        src.create_file("cache-b");
+        src.write_block("cache-b", 0, &vec![9u8; 512]);
+        src.delete_file("cache-a");
+        src.snapshot("s2");
+        src.send_between(Some("s1"), "s2").expect("send").encode()
+    }
 
     #[derive(Debug, Clone)]
     enum Op {
@@ -518,6 +638,49 @@ mod proptests {
                     prop_assert_eq!(src.read_block(name, b), dst.read_block(name, b));
                 }
             }
+        }
+
+        /// Adversarial-input hardening: `decode` on truncated, bit-flipped,
+        /// or arbitrary bytes always returns (Ok or DecodeError), never
+        /// panics, and never over-allocates past the input size.
+        #[test]
+        fn decode_survives_truncation_and_bitflips(
+            truncate_to in 0usize..400,
+            flips in proptest::collection::vec((any::<u16>(), 0u8..8), 0..6)
+        ) {
+            let clean = golden_wire_bytes();
+            let mut bytes = clean.clone();
+            bytes.truncate(truncate_to.min(bytes.len()));
+            for (pos, bit) in flips {
+                if bytes.is_empty() {
+                    break;
+                }
+                let i = pos as usize % bytes.len();
+                bytes[i] ^= 1 << bit;
+            }
+            let _ = SendStream::decode(&bytes);
+            let _ = SendStream::decode_framed(&bytes);
+        }
+
+        /// Completely random byte soup never panics either path.
+        #[test]
+        fn decode_survives_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let _ = SendStream::decode(&bytes);
+            let _ = SendStream::decode_framed(&bytes);
+        }
+
+        /// Corrupted length fields in particular: clobber any aligned u32 in
+        /// the image with an adversarial count and decode must fail cleanly
+        /// (or succeed if the field was unused), not abort or balloon.
+        #[test]
+        fn decode_survives_length_field_corruption(
+            offset in any::<u16>(),
+            value in prop_oneof![Just(u32::MAX), Just(1 << 31), any::<u32>()]
+        ) {
+            let mut bytes = golden_wire_bytes();
+            let i = offset as usize % (bytes.len() - 4);
+            bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+            let _ = SendStream::decode(&bytes);
         }
     }
 }
@@ -708,6 +871,112 @@ mod tests {
             squirrel_hash::ContentHash::of(&inc).to_hex(),
             "244d7ca4c11273c43d5ad4cc4ddc7ce3b65ff87585ab89593dd26e43b6c253e7"
         );
+    }
+
+    #[test]
+    fn framed_roundtrip_and_bitflip_detection() {
+        let mut src = pool();
+        fill(&mut src, "cache-a", &[1, 2, 3]);
+        src.snapshot("s1");
+        let stream = src.send_between(None, "s1").expect("send");
+        let framed = stream.encode_framed();
+        let back = SendStream::decode_framed(&framed).expect("decode framed");
+        assert_eq!(back.tip, stream.tip);
+        assert_eq!(back.payload.len(), stream.payload.len());
+
+        // Every single-bit flip anywhere in the frame is detected.
+        for byte in [8, framed.len() / 2, framed.len() - 1] {
+            let mut bad = framed.clone();
+            bad[byte] ^= 0x10;
+            assert!(
+                SendStream::decode_framed(&bad).is_err(),
+                "flip at byte {byte} must not decode"
+            );
+        }
+        // Wrong magic and short input are classified, not panics.
+        assert_eq!(SendStream::decode_framed(b"tiny").unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            SendStream::decode_framed(&framed[8..]).unwrap_err(),
+            DecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn recv_rejects_corrupt_payload_without_mutating() {
+        let mut src = pool();
+        fill(&mut src, "cache-a", &[1, 2, 3]);
+        src.snapshot("s1");
+        let mut stream = src.send_between(None, "s1").expect("send");
+        // Corrupt one payload block's content (validly framed, wrong bytes
+        // — what a stream built from a rotten source pool looks like).
+        let victim = stream.payload[1].key;
+        stream.payload[1].data =
+            Some(squirrel_compress::compress(Codec::Lzjb, &vec![0xeeu8; 512]).into());
+
+        let mut dst = pool();
+        assert_eq!(dst.recv(&stream), Err(RecvError::CorruptPayload(victim)));
+        // Transactional: nothing was applied.
+        assert_eq!(dst.file_count(), 0);
+        assert_eq!(dst.stats().unique_blocks, 0);
+        assert_eq!(dst.latest_snapshot(), None);
+        assert!(dst.check_refcounts());
+    }
+
+    #[test]
+    fn recv_rejects_unresolvable_pointer_without_mutating() {
+        let mut src = pool();
+        fill(&mut src, "cache-a", &[1, 2]);
+        src.snapshot("s1");
+        let mut stream = src.send_between(None, "s1").expect("send");
+        let dropped = stream.payload.pop().expect("payload").key;
+
+        let mut dst = pool();
+        assert_eq!(dst.recv(&stream), Err(RecvError::MissingBlock(dropped)));
+        assert_eq!(dst.file_count(), 0);
+        assert_eq!(dst.stats().unique_blocks, 0);
+        assert!(dst.check_refcounts());
+    }
+
+    #[test]
+    fn crashed_recv_rolls_back_and_retry_succeeds() {
+        let mut src = pool();
+        fill(&mut src, "cache-a", &[1, 2, 3]);
+        src.snapshot("s1");
+        let stream = src.send_between(None, "s1").expect("send");
+
+        let mut dst = pool();
+        assert_eq!(dst.recv_crashed(&stream), Err(RecvError::Interrupted));
+        assert_eq!(dst.file_count(), 0, "crash rolled back");
+        assert_eq!(dst.latest_snapshot(), None);
+        // The retry of the very same stream applies cleanly.
+        dst.recv(&stream).expect("retry");
+        assert_eq!(dst.read_block("cache-a", 2).expect("file"), vec![3u8; 512]);
+        assert!(dst.check_refcounts());
+        // A crash on a stream that would not validate reports the
+        // validation error, not Interrupted.
+        assert_eq!(
+            dst.recv_crashed(&stream),
+            Err(RecvError::DuplicateTip("s1".to_string()))
+        );
+    }
+
+    #[test]
+    fn adversarial_length_fields_fail_cleanly() {
+        let mut src = pool();
+        fill(&mut src, "f", &[1]);
+        src.snapshot("s");
+        let bytes = src.send_between(None, "s").expect("send").encode();
+        // Overwrite the upsert-count field (right after magic + base flag +
+        // tip string) with u32::MAX: must error, not allocate 4 G entries.
+        let tip_end = 8 + 1 + 4 + 1; // magic, no-base flag, len("s")=1, "s"
+        let mut bad = bytes.clone();
+        bad[tip_end..tip_end + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(SendStream::decode(&bad).unwrap_err(), DecodeError::Truncated);
+        // A huge string length dies the same way.
+        let mut bad = bytes;
+        bad[8 + 1..8 + 1 + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        // (base flag 0 means tip string comes first; clobber its length.)
+        assert!(SendStream::decode(&bad).is_err());
     }
 
     #[test]

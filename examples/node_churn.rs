@@ -57,7 +57,7 @@ fn main() {
     sq.register(4).expect("register");
     sq.advance_days(10);
     sq.register(5).expect("register");
-    sq.gc();
+    let _ = sq.gc();
     println!(
         "day {}: node 2 was away 20 days; GC collected the old snapshots",
         sq.today()

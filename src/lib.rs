@@ -10,6 +10,7 @@ pub use squirrel_compress as compress;
 pub use squirrel_core as core;
 pub use squirrel_curvefit as curvefit;
 pub use squirrel_dataset as dataset;
+pub use squirrel_faults as faults;
 pub use squirrel_hash as hash;
 pub use squirrel_obs as obs;
 pub use squirrel_qcow as qcow;

@@ -104,7 +104,7 @@ fn gc_window_controls_rejoin_strategy() {
     // Stay inside the window: incremental.
     sq.advance_days(3);
     sq.register(1).expect("r1");
-    sq.gc();
+    let _ = sq.gc();
     assert!(matches!(
         sq.node_rejoin(2).expect("rejoin"),
         RejoinOutcome::Incremental { .. }
@@ -116,7 +116,7 @@ fn gc_window_controls_rejoin_strategy() {
     sq.register(2).expect("r2");
     sq.advance_days(20);
     sq.register(3).expect("r3");
-    sq.gc();
+    let _ = sq.gc();
     assert!(matches!(
         sq.node_rejoin(2).expect("rejoin"),
         RejoinOutcome::FullReplication { .. }

@@ -34,7 +34,7 @@ fn run_workflows(threads: usize) -> Squirrel {
     sq.node_rejoin(3).expect("rejoin");
     sq.advance_days(30);
     sq.register(2).expect("r2");
-    sq.gc();
+    let _ = sq.gc();
     sq.verify_boot(1, 0).expect("verify");
     sq.measure_arc_hit_rate(0, &[0, 1, 2], 64 << 20).expect("arc");
     sq
@@ -99,7 +99,7 @@ fn disabled_metrics_skip_the_whole_pipeline() {
     );
     sq.register(0).expect("register");
     sq.boot(1, 0).expect("boot");
-    sq.gc();
+    let _ = sq.gc();
     assert_eq!(sq.metrics().snapshot(), MetricsSnapshot::default());
     assert!(sq.metrics().wall_times().is_empty());
 }

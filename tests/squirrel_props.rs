@@ -91,7 +91,7 @@ proptest! {
                 }
                 Op::AdvanceDays(d) => sq.advance_days(d),
                 Op::Gc => {
-                    sq.gc();
+                    let _ = sq.gc();
                 }
             }
         }

@@ -48,7 +48,22 @@ grep -q '"deterministic_across_threads": true' results/BENCH_chaos.json
 # Chaos actually happened: the plan injected a nonzero number of faults.
 grep -Eq '"faults_injected": [1-9]' results/BENCH_chaos.json
 
+echo "== hoard-budget sweep smoke (release, pinned seed) =="
+rm -f results/BENCH_budget.json
+cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \
+    budget --images 8 --scale 8192 --seed 7 --threads 2 > /dev/null
+test -f results/BENCH_budget.json
+# Eviction decisions and metric snapshots replay bit-identically at every
+# thread count; a generous budget degrades nothing, a starved one must
+# push a strictly positive share of boots to shared storage.
+grep -q '"deterministic_across_threads": true' results/BENCH_budget.json
+grep -q '"generous_degraded_boot_rate": 0,' results/BENCH_budget.json
+grep -Eq '"starved_degraded_boot_rate": (0\.[0-9]*[1-9][0-9]*|1)' results/BENCH_budget.json
+
 echo "== decode fuzz smoke (release, fixed seeds) =="
 cargo test -q --release -p squirrel-zfs decode_survives > /dev/null
+
+echo "== ARC differential proptest (release, name-seeded) =="
+cargo test -q --release -p squirrel-zfs differential_shared_vs_serial > /dev/null
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,347 @@
+//! Hoard-budget sweep: catalog size vs per-node footprint vs degraded-boot
+//! rate (`squirrel_core::Squirrel::enforce_hoard_budgets`).
+//!
+//! For each catalog size the sweep hoards the catalog on a small cluster at
+//! three budget tiers — *generous* (unlimited), *exact* (the measured
+//! footprint), *starved* (half of it) — skews image popularity with boots,
+//! runs the enforcement pass, then probes every node × image boot to count
+//! how many land degraded on shared storage. The paper's budget claim
+//! (Section 4.4: ~10 GB disk and ~60 MB of DDT memory per node) is the
+//! production default this sweep scales down.
+//!
+//! Every tier repeats at each worker-thread count; eviction decisions,
+//! reports and metric snapshots must be bit-identical across the sweep.
+//!
+//! Results land in `results/BENCH_budget.json`.
+
+use crate::config::ExperimentConfig;
+use crate::csvout::fmt_f;
+use crate::experiments::bootstorm::thread_sweep;
+use squirrel_core::{HoardBudget, Squirrel, SquirrelConfig};
+use squirrel_dataset::Corpus;
+use std::sync::Arc;
+
+/// Compute nodes in the budgeted cluster.
+pub const BUDGET_NODES: u32 = 3;
+/// Pool record size for the sweep.
+pub const BUDGET_BLOCK_SIZE: usize = 16 * 1024;
+
+/// One catalog × budget-tier cell. Pure integers and booleans; equality
+/// across thread counts is the determinism witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierOutcome {
+    /// "generous", "exact" or "starved".
+    pub tier: &'static str,
+    /// Images registered.
+    pub catalog: u32,
+    /// The per-node budget enforced (zeros = unlimited).
+    pub budget: HoardBudget,
+    /// Whole-cache evictions the enforcement pass performed.
+    pub evictions: u64,
+    pub disk_bytes_freed: u64,
+    pub ddt_mem_bytes_freed: u64,
+    /// Every node ended within budget.
+    pub within_budget: bool,
+    /// Largest per-node disk footprint after enforcement.
+    pub node_disk_bytes: u64,
+    /// Largest per-node in-core DDT footprint after enforcement.
+    pub node_ddt_mem_bytes: u64,
+    /// Probe boots attempted (nodes × catalog).
+    pub probe_boots: u64,
+    /// Probe boots served degraded from shared storage.
+    pub degraded_boots: u64,
+}
+
+impl TierOutcome {
+    pub fn degraded_rate(&self) -> f64 {
+        self.degraded_boots as f64 / self.probe_boots.max(1) as f64
+    }
+}
+
+/// One thread count's full sweep.
+#[derive(Clone, Debug)]
+pub struct BudgetRun {
+    pub threads: usize,
+    pub wall_secs: f64,
+    pub cells: Vec<TierOutcome>,
+}
+
+/// Catalog sizes swept: a quarter, half and the whole corpus.
+fn catalogs(cfg: &ExperimentConfig) -> Vec<u32> {
+    let max = cfg.images.min(16);
+    let mut sizes: Vec<u32> = [max / 4, max / 2, max].into_iter().filter(|&c| c > 0).collect();
+    sizes.dedup();
+    sizes
+}
+
+/// Hoard `catalog` images under `budget`, skew popularity, enforce, probe.
+fn run_tier(
+    corpus: &Arc<Corpus>,
+    catalog: u32,
+    budget: HoardBudget,
+    tier: &'static str,
+    threads: usize,
+) -> (TierOutcome, squirrel_obs::MetricsSnapshot) {
+    let mut sq = Squirrel::new(
+        SquirrelConfig::builder()
+            .compute_nodes(BUDGET_NODES)
+            .block_size(BUDGET_BLOCK_SIZE)
+            .threads(threads)
+            .hoard_budget(budget)
+            .build(),
+        Arc::clone(corpus),
+    );
+    for img in 0..catalog {
+        sq.register(img).expect("register");
+    }
+    // Popularity skew: earlier images boot more, capped so the probe stays
+    // cheap. Ties resolve by ascending image id inside the policy.
+    for img in 0..catalog {
+        let boots = (catalog - img).min(5);
+        for _ in 0..boots {
+            sq.boot(img % BUDGET_NODES, img).expect("skew boot");
+        }
+    }
+
+    let report = sq.enforce_hoard_budgets();
+
+    let mut probe_boots = 0u64;
+    let mut degraded_boots = 0u64;
+    for node in 0..BUDGET_NODES {
+        for img in 0..catalog {
+            let out = sq.boot(node, img).expect("probe boot");
+            probe_boots += 1;
+            if out.degraded {
+                degraded_boots += 1;
+            }
+        }
+    }
+
+    let (mut disk, mut ddt) = (0u64, 0u64);
+    for node in 0..BUDGET_NODES {
+        let s = sq.ccvol_stats(node).expect("node stats");
+        disk = disk.max(s.total_disk_bytes());
+        ddt = ddt.max(s.ddt_memory_bytes);
+    }
+    let cell = TierOutcome {
+        tier,
+        catalog,
+        budget,
+        evictions: report.evictions.len() as u64,
+        disk_bytes_freed: report.disk_bytes_freed,
+        ddt_mem_bytes_freed: report.ddt_mem_bytes_freed,
+        within_budget: report.is_within_budget(),
+        node_disk_bytes: disk,
+        node_ddt_mem_bytes: ddt,
+        probe_boots,
+        degraded_boots,
+    };
+    (cell, sq.metrics().snapshot())
+}
+
+/// One thread count's sweep over every catalog × tier.
+fn sweep_once(
+    corpus: &Arc<Corpus>,
+    cfg: &ExperimentConfig,
+    threads: usize,
+) -> (Vec<TierOutcome>, Vec<squirrel_obs::MetricsSnapshot>) {
+    let mut cells = Vec::new();
+    let mut snaps = Vec::new();
+    for catalog in catalogs(cfg) {
+        let (generous, snap) =
+            run_tier(corpus, catalog, HoardBudget::unlimited(), "generous", threads);
+        // The measured footprint parameterises the constrained tiers.
+        let exact_budget = HoardBudget {
+            disk_bytes: generous.node_disk_bytes,
+            ddt_mem_bytes: generous.node_ddt_mem_bytes,
+        };
+        let starved_budget =
+            HoardBudget { disk_bytes: generous.node_disk_bytes / 2, ddt_mem_bytes: 0 };
+        cells.push(generous);
+        snaps.push(snap);
+        for (budget, tier) in [(exact_budget, "exact"), (starved_budget, "starved")] {
+            let (cell, snap) = run_tier(corpus, catalog, budget, tier, threads);
+            cells.push(cell);
+            snaps.push(snap);
+        }
+    }
+    (cells, snaps)
+}
+
+/// Sweep the thread counts, assert the tier invariants and bit-identical
+/// outcomes, and persist `BENCH_budget.json`.
+pub fn run_budget(cfg: &ExperimentConfig) -> Vec<BudgetRun> {
+    let corpus = cfg.corpus();
+    let mut reference_snaps: Option<Vec<squirrel_obs::MetricsSnapshot>> = None;
+    let runs: Vec<BudgetRun> = thread_sweep(cfg)
+        .into_iter()
+        .map(|threads| {
+            let t = std::time::Instant::now();
+            let (cells, snaps) = sweep_once(&corpus, cfg, threads);
+            match &reference_snaps {
+                None => reference_snaps = Some(snaps),
+                Some(reference) => assert_eq!(
+                    &snaps, reference,
+                    "threads={threads}: metric snapshots diverged"
+                ),
+            }
+            BudgetRun { threads, wall_secs: t.elapsed().as_secs_f64(), cells }
+        })
+        .collect();
+
+    let first = &runs[0];
+    for run in &runs {
+        assert_eq!(
+            run.cells, first.cells,
+            "threads={} diverged from threads={}",
+            run.threads, first.threads
+        );
+    }
+    for cell in &first.cells {
+        match cell.tier {
+            "generous" | "exact" => {
+                assert_eq!(cell.evictions, 0, "{cell:?}");
+                assert_eq!(cell.degraded_boots, 0, "{cell:?}");
+            }
+            _ => {
+                assert!(cell.evictions > 0, "{cell:?}");
+                assert!(cell.degraded_boots > 0, "{cell:?}");
+                assert!(cell.within_budget, "{cell:?}");
+                assert!(cell.node_disk_bytes <= cell.budget.disk_bytes, "{cell:?}");
+            }
+        }
+    }
+
+    for cell in &first.cells {
+        println!(
+            "budget catalog={} tier={}: {} evictions, {} freed, \
+             degraded rate {:.3}, node footprint {} B disk / {} B ddt",
+            cell.catalog,
+            cell.tier,
+            cell.evictions,
+            cell.disk_bytes_freed,
+            cell.degraded_rate(),
+            cell.node_disk_bytes,
+            cell.node_ddt_mem_bytes,
+        );
+    }
+
+    if let Some(dir) = &cfg.out_dir {
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let path = std::path::Path::new(dir).join("BENCH_budget.json");
+        std::fs::write(&path, render_json(cfg, &runs)).expect("write BENCH_budget.json");
+        println!("budget bench written to {}", path.display());
+    }
+    runs
+}
+
+/// Hand-rolled JSON (the workspace is std-only by policy).
+fn render_json(cfg: &ExperimentConfig, runs: &[BudgetRun]) -> String {
+    let cells = &runs[0].cells;
+    // Headline rates come from the largest catalog (the last tier group).
+    let rate_of = |tier: &str| {
+        cells
+            .iter()
+            .rev()
+            .find(|c| c.tier == tier)
+            .map(|c| c.degraded_rate())
+            .unwrap_or(0.0)
+    };
+    let cell_entries: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"catalog\": {}, \"tier\": \"{}\", \"budget_disk_bytes\": {}, \
+                 \"budget_ddt_mem_bytes\": {}, \"evictions\": {}, \
+                 \"disk_bytes_freed\": {}, \"ddt_mem_bytes_freed\": {}, \
+                 \"within_budget\": {}, \"node_disk_bytes\": {}, \
+                 \"node_ddt_mem_bytes\": {}, \"probe_boots\": {}, \
+                 \"degraded_boots\": {}, \"degraded_boot_rate\": {}}}",
+                c.catalog,
+                c.tier,
+                c.budget.disk_bytes,
+                c.budget.ddt_mem_bytes,
+                c.evictions,
+                c.disk_bytes_freed,
+                c.ddt_mem_bytes_freed,
+                c.within_budget,
+                c.node_disk_bytes,
+                c.node_ddt_mem_bytes,
+                c.probe_boots,
+                c.degraded_boots,
+                fmt_f(c.degraded_rate()),
+            )
+        })
+        .collect();
+    let run_entries: Vec<String> = runs
+        .iter()
+        .map(|run| {
+            format!(
+                "    {{\"threads\": {}, \"wall_secs\": {}}}",
+                run.threads,
+                fmt_f(run.wall_secs)
+            )
+        })
+        .collect();
+    let paper = HoardBudget::paper();
+    format!(
+        "{{\n  \"seed\": {},\n  \"images\": {},\n  \"nodes\": {BUDGET_NODES},\n  \
+         \"block_size\": {BUDGET_BLOCK_SIZE},\n  \
+         \"paper_budget\": {{\"disk_bytes\": {}, \"ddt_mem_bytes\": {}}},\n  \
+         \"deterministic_across_threads\": true,\n  \
+         \"generous_degraded_boot_rate\": {},\n  \
+         \"exact_degraded_boot_rate\": {},\n  \
+         \"starved_degraded_boot_rate\": {},\n  \
+         \"cells\": [\n{}\n  ],\n  \"runs\": [\n{}\n  ]\n}}\n",
+        cfg.seed,
+        cfg.images,
+        paper.disk_bytes,
+        paper.ddt_mem_bytes,
+        fmt_f(rate_of("generous")),
+        fmt_f(rate_of("exact")),
+        fmt_f(rate_of("starved")),
+        cell_entries.join(",\n"),
+        run_entries.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_sweep_is_deterministic_and_tiers_behave() {
+        let cfg = ExperimentConfig::smoke();
+        let runs = run_budget(&cfg);
+        assert_eq!(runs.len(), 3);
+        let cells = &runs[0].cells;
+        assert!(cells.iter().any(|c| c.tier == "starved" && c.evictions > 0));
+        assert!(cells
+            .iter()
+            .all(|c| c.tier != "generous" || c.degraded_boots == 0));
+    }
+
+    #[test]
+    fn json_has_the_acceptance_fields() {
+        let cfg = ExperimentConfig { threads: 1, ..ExperimentConfig::smoke() };
+        let corpus = cfg.corpus();
+        let (cells, _) = sweep_once(&corpus, &cfg, 1);
+        let runs = vec![BudgetRun { threads: 1, wall_secs: 0.1, cells }];
+        let json = render_json(&cfg, &runs);
+        for key in [
+            "\"deterministic_across_threads\": true",
+            "\"generous_degraded_boot_rate\": 0,",
+            "\"starved_degraded_boot_rate\": ",
+            "\"paper_budget\"",
+            "\"cells\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The starved headline rate must be strictly positive.
+        let rate_line = json
+            .lines()
+            .find(|l| l.contains("starved_degraded_boot_rate"))
+            .expect("rate line");
+        assert!(!rate_line.contains(": 0,"), "starved rate should be > 0: {rate_line}");
+    }
+}

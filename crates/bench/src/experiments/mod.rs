@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod boottime;
 pub mod bootstorm;
+pub mod budget;
 pub mod chaosbench;
 pub mod extrapolate;
 pub mod network;

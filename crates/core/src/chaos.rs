@@ -9,7 +9,7 @@
 //! repair pass runs. Nothing in the driver consults wall clocks or ambient
 //! randomness; the seed is the only source of nondeterminism.
 
-use crate::system::{Squirrel, SquirrelConfig};
+use crate::system::{HoardBudget, Squirrel, SquirrelConfig};
 use squirrel_cluster::NodeId;
 use squirrel_dataset::{Corpus, CorpusConfig};
 use squirrel_faults::{ChurnEvent, FaultConfig, FaultPlan, FaultReport, PartitionEvent};
@@ -35,6 +35,10 @@ pub struct ChaosConfig {
     pub storm_vms: u32,
     /// Fault probabilities and retry policy.
     pub faults: FaultConfig,
+    /// Per-node hoard budget. When limited, an enforcement pass runs after
+    /// every registration and once more after the final repair, so the soak
+    /// converges *under* budget pressure, not just under faults.
+    pub budget: HoardBudget,
 }
 
 impl Default for ChaosConfig {
@@ -47,6 +51,7 @@ impl Default for ChaosConfig {
             threads: 0,
             storm_vms: 8,
             faults: FaultConfig::chaos(),
+            budget: HoardBudget::unlimited(),
         }
     }
 }
@@ -80,6 +85,12 @@ pub struct ChaosReport {
     pub repair_wire_bytes: u64,
     /// Lagging nodes pulled back in sync, over all passes.
     pub sync_repaired_nodes: u64,
+    /// Whole-cache evictions the budget enforcement passes performed
+    /// (always zero with an unlimited budget).
+    pub budget_evictions: u64,
+    /// Whether every node ended the run within its hoard budget
+    /// (vacuously true with an unlimited budget).
+    pub within_budget: bool,
     /// Whether the replication invariant already held before the final
     /// repair pass (it usually doesn't — that's the point of the soak).
     pub consistent_before_final_repair: bool,
@@ -104,6 +115,7 @@ pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
             compute_nodes: cfg.nodes,
             block_size: 16 * 1024,
             threads: cfg.threads,
+            hoard_budget: cfg.budget,
             ..Default::default()
         },
         corpus,
@@ -168,6 +180,20 @@ pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
             next_image += 1;
         }
 
+        // Budget pressure: every registration can push nodes over; evict
+        // back under budget before the day's boots see the caches.
+        if !cfg.budget.is_unlimited() {
+            let b = sq.enforce_hoard_budgets();
+            r.budget_evictions += b.evictions.len() as u64;
+            feed.push_str(&format!(
+                "budget:{}:{}:{}:{}\n",
+                b.evictions.len(),
+                b.nodes_over_budget,
+                b.disk_bytes_freed,
+                b.ddt_mem_bytes_freed
+            ));
+        }
+
         // A couple of boots on a deterministic node/image rotation.
         for k in 0..2u64 {
             let image = ((day + k) % u64::from(next_image.max(1))) as u32;
@@ -224,6 +250,20 @@ pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
         }
     }
     tally_repair(&mut r, &mut sq);
+    // The final repair full-replicates lagging nodes, which can push them
+    // back over budget: one last enforcement pass settles the steady state.
+    r.within_budget = if cfg.budget.is_unlimited() {
+        true
+    } else {
+        let b = sq.enforce_hoard_budgets();
+        r.budget_evictions += b.evictions.len() as u64;
+        feed.push_str(&format!(
+            "budget-final:{}:{}\n",
+            b.evictions.len(),
+            b.nodes_over_budget
+        ));
+        b.is_within_budget()
+    };
     r.converged = sq.check_replication().is_consistent();
     r.scrub_clean = sq.scrub_scvol().is_clean()
         && (0..cfg.nodes).all(|n| sq.scrub_node(n).is_some_and(|s| s.is_clean()));
@@ -282,6 +322,52 @@ mod tests {
     fn soak_is_thread_count_invariant() {
         let at = |threads| chaos_soak(&ChaosConfig { threads, ..tiny() });
         let reference = at(1);
+        for threads in [2, 8] {
+            assert_eq!(at(threads), reference, "threads={threads}");
+        }
+    }
+
+    /// A budget that can hold roughly half the catalog's caches, derived
+    /// from a deterministic unlimited probe over the same corpus.
+    fn starved_budget(cfg: &ChaosConfig) -> HoardBudget {
+        let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(cfg.images, cfg.seed)));
+        let mut probe = Squirrel::new(
+            SquirrelConfig {
+                compute_nodes: 1,
+                block_size: 16 * 1024,
+                ..Default::default()
+            },
+            corpus,
+        );
+        for img in 0..cfg.images {
+            probe.register(img).expect("probe register");
+        }
+        let full = probe.ccvol_stats(0).expect("node").total_disk_bytes();
+        HoardBudget { disk_bytes: full / 2, ddt_mem_bytes: 0 }
+    }
+
+    #[test]
+    fn budget_soak_converges_under_pressure() {
+        let cfg = ChaosConfig { budget: starved_budget(&tiny()), ..tiny() };
+        let r = chaos_soak(&cfg);
+        assert!(r.budget_evictions > 0, "pressure must force evictions: {r:?}");
+        assert!(r.within_budget, "{r:?}");
+        assert!(r.converged, "{r:?}");
+        assert!(r.scrub_clean, "{r:?}");
+        assert_eq!(r.registrations, 5);
+        // The budgeted run is a different trajectory than the unlimited one.
+        let unlimited = chaos_soak(&tiny());
+        assert_eq!(unlimited.budget_evictions, 0);
+        assert!(unlimited.within_budget);
+        assert_ne!(r.read_checksum, unlimited.read_checksum);
+    }
+
+    #[test]
+    fn budget_soak_is_thread_count_invariant() {
+        let budget = starved_budget(&tiny());
+        let at = |threads| chaos_soak(&ChaosConfig { threads, budget, ..tiny() });
+        let reference = at(1);
+        assert!(reference.budget_evictions > 0);
         for threads in [2, 8] {
             assert_eq!(at(threads), reference, "threads={threads}");
         }

@@ -44,8 +44,9 @@ mod trace;
 pub use chaos::{chaos_soak, ChaosConfig, ChaosReport};
 pub use squirrel_faults::{FaultConfig, FaultPlan, FaultReport};
 pub use system::{
-    BootOutcome, BootStormReport, BootVerification, EvictReport, GcReport, NodeReplication,
-    RegisterReport, RegistrationInfo, RejoinOutcome, RepairReport, ReplicationReport, Squirrel,
-    SquirrelConfig, SquirrelConfigBuilder, SquirrelError, SyncRepairReport,
+    BootOutcome, BootStormReport, BootVerification, BudgetReport, EvictReport, GcReport,
+    HoardBudget, NodeReplication, RegisterReport, RegistrationInfo, RehoardReport, RejoinOutcome,
+    RepairReport, ReplicationReport, Squirrel, SquirrelConfig, SquirrelConfigBuilder,
+    SquirrelError, SyncRepairReport,
 };
 pub use trace::paper_scale_trace;

@@ -15,6 +15,43 @@ use squirrel_zfs::{
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+/// Per-node hoard budget: how much a compute node may spend on hoarded
+/// caches, on the paper's two axes — ccVolume disk footprint and in-core
+/// dedup-table memory. The paper's feasibility claim (Section 4.3) is that
+/// the whole catalog fits in ~10 GB of disk and ~60 MB of DDT memory per
+/// node; [`HoardBudget::paper`] encodes exactly those numbers. `0` on an
+/// axis means unlimited.
+///
+/// Enforcement is whole-cache and popularity-aware: when a node exceeds
+/// budget, [`Squirrel::enforce_hoard_budgets`] evicts its least-booted image
+/// caches until it fits. Evicted images keep booting — degraded, via shared
+/// storage — and re-hoard on demand ([`Squirrel::rehoard_cache`]): the
+/// paper's partial-hoarding fallback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HoardBudget {
+    /// ccVolume total-disk budget in bytes (`0` = unlimited).
+    pub disk_bytes: u64,
+    /// ccVolume in-core DDT budget in bytes (`0` = unlimited).
+    pub ddt_mem_bytes: u64,
+}
+
+impl HoardBudget {
+    /// No budget on either axis — full scatter hoarding (the default).
+    pub fn unlimited() -> Self {
+        HoardBudget::default()
+    }
+
+    /// The paper's per-node numbers: 10 GiB of disk, 60 MiB of DDT memory.
+    pub fn paper() -> Self {
+        HoardBudget { disk_bytes: 10 << 30, ddt_mem_bytes: 60 << 20 }
+    }
+
+    /// Both axes unlimited: enforcement is a no-op.
+    pub fn is_unlimited(&self) -> bool {
+        self.disk_bytes == 0 && self.ddt_mem_bytes == 0
+    }
+}
+
 /// System configuration; defaults match the paper's deployment.
 ///
 /// Construct with [`SquirrelConfig::builder`] (the struct is
@@ -40,6 +77,9 @@ pub struct SquirrelConfig {
     /// Record metrics and journal events (see [`Squirrel::metrics`]). When
     /// `false` every instrument is a disabled no-op handle.
     pub metrics: bool,
+    /// Per-node hoard budget (disk / DDT memory); unlimited by default.
+    /// Enforced by [`Squirrel::enforce_hoard_budgets`].
+    pub hoard_budget: HoardBudget,
 }
 
 impl Default for SquirrelConfig {
@@ -53,6 +93,7 @@ impl Default for SquirrelConfig {
             storage_nodes: 4,
             threads: 0,
             metrics: true,
+            hoard_budget: HoardBudget::unlimited(),
         }
     }
 }
@@ -108,6 +149,12 @@ impl SquirrelConfigBuilder {
 
     pub fn metrics(mut self, enabled: bool) -> Self {
         self.config.metrics = enabled;
+        self
+    }
+
+    /// Per-node hoard budget; [`HoardBudget::unlimited`] by default.
+    pub fn hoard_budget(mut self, budget: HoardBudget) -> Self {
+        self.config.hoard_budget = budget;
         self
     }
 
@@ -352,6 +399,52 @@ pub struct EvictReport {
     pub image: ImageId,
     /// Whether the cache was present before the eviction.
     pub was_cached: bool,
+    /// ccVolume disk bytes the eviction reclaimed (data + DDT + pointers).
+    pub disk_bytes_freed: u64,
+    /// In-core DDT bytes the eviction reclaimed.
+    pub ddt_mem_bytes_freed: u64,
+    /// The image's boot count at eviction time — the popularity signal the
+    /// budget policy ranked it by.
+    pub popularity: u64,
+}
+
+/// Outcome of [`Squirrel::enforce_hoard_budgets`]: one deterministic
+/// enforcement pass over every compute node.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[must_use]
+pub struct BudgetReport {
+    /// Every eviction the pass performed, in (node, eviction order).
+    pub evictions: Vec<EvictReport>,
+    /// Nodes that were over budget when the pass started.
+    pub nodes_over_budget: u32,
+    /// Nodes still over budget after evicting everything evictable (budget
+    /// smaller than irreducible pool overhead — nothing is wedged, those
+    /// nodes simply serve everything degraded).
+    pub nodes_still_over: u32,
+    /// Total ccVolume disk bytes reclaimed.
+    pub disk_bytes_freed: u64,
+    /// Total in-core DDT bytes reclaimed.
+    pub ddt_mem_bytes_freed: u64,
+}
+
+impl BudgetReport {
+    /// Every node fits its budget after the pass.
+    pub fn is_within_budget(&self) -> bool {
+        self.nodes_still_over == 0
+    }
+}
+
+/// Outcome of [`Squirrel::rehoard_cache`]: a previously evicted cache pulled
+/// back from the scVolume on demand (the paper's partial-hoarding fallback).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
+pub struct RehoardReport {
+    pub node: NodeId,
+    pub image: ImageId,
+    /// Wire bytes the re-hoard moved (compressed frames + record headers).
+    pub wire_bytes: u64,
+    /// Cache blocks re-imported (holes included).
+    pub blocks: u64,
 }
 
 /// Outcome of a scrub-and-repair pass over one cVolume
@@ -408,6 +501,10 @@ impl SyncRepairReport {
 struct ComputeNode {
     ccvol: ZPool,
     online: bool,
+    /// Caches the budget policy evicted from this node. Replication checks
+    /// exempt them (the node is *deliberately* not hoarding them); a stream
+    /// delivery or re-hoard that restores the file clears the mark.
+    evicted: BTreeSet<ImageId>,
 }
 
 struct Registration {
@@ -425,6 +522,9 @@ pub struct Squirrel {
     scvol: ZPool,
     nodes: Vec<ComputeNode>,
     registered: BTreeMap<ImageId, Registration>,
+    /// Boot counts per image (single boots count 1, storms count their VM
+    /// count) — the popularity signal hoard-budget eviction ranks by.
+    popularity: BTreeMap<ImageId, u64>,
     day: u64,
     snapshot_days: BTreeMap<String, u64>,
     /// Monotonic registration counter: snapshot tags must be unique even
@@ -473,16 +573,19 @@ impl Squirrel {
         let bricks: Vec<NodeId> =
             (config.compute_nodes..config.compute_nodes + 4).collect();
         let gluster = GlusterVolume::new(GlusterConfig::default(), bricks);
-        let pool_cfg =
-            PoolConfig::new(config.block_size, config.codec).with_threads(config.threads);
+        let ccvol_cfg = Self::ccvol_pool_config(&config);
         let nodes = (0..config.compute_nodes)
             .map(|_| {
-                let mut ccvol = ZPool::new(pool_cfg);
+                let mut ccvol = ZPool::new(ccvol_cfg);
                 ccvol.set_metrics(&ccvol_obs);
-                ComputeNode { ccvol, online: true }
+                ComputeNode { ccvol, online: true, evicted: BTreeSet::new() }
             })
             .collect();
-        let mut scvol = ZPool::new(pool_cfg);
+        // The scVolume is the shared catalog: the hoard budget is a
+        // per-compute-node constraint and does not apply to it.
+        let mut scvol = ZPool::new(
+            PoolConfig::new(config.block_size, config.codec).with_threads(config.threads),
+        );
         scvol.set_metrics(&obs.with_label("pool", "scvol"));
         Squirrel {
             config,
@@ -492,6 +595,7 @@ impl Squirrel {
             scvol,
             nodes,
             registered: BTreeMap::new(),
+            popularity: BTreeMap::new(),
             day: 0,
             snapshot_days: BTreeMap::new(),
             reg_seq: 0,
@@ -547,8 +651,22 @@ impl Squirrel {
         self.day += days;
     }
 
+    /// Pool configuration for compute nodes' ccVolumes: the hoard budget is
+    /// carried as a pool quota so the pool reports pressure. Also used when
+    /// a rejoin rebuilds a ccVolume from a full stream.
+    fn ccvol_pool_config(config: &SquirrelConfig) -> PoolConfig {
+        PoolConfig::new(config.block_size, config.codec)
+            .with_threads(config.threads)
+            .with_quotas(config.hoard_budget.disk_bytes, config.hoard_budget.ddt_mem_bytes)
+    }
+
     fn cache_file_name(image: ImageId) -> String {
         format!("cache-{image:06}")
+    }
+
+    /// Inverse of [`Self::cache_file_name`].
+    fn image_of_cache_name(name: &str) -> Option<ImageId> {
+        name.strip_prefix("cache-")?.parse().ok()
     }
 
     fn snapshot_tag(image: ImageId, seq: u64) -> String {
@@ -633,6 +751,12 @@ impl Squirrel {
                         // Shouldn't happen for online nodes; they sync on
                         // rejoin.
                     }
+                    Err(RecvError::MissingBlock(_)) => {
+                        // A budget eviction purged blocks this incremental
+                        // diff expects the receiver to still hold. The node
+                        // stays lagging; repair_replication's full stream
+                        // catches it up.
+                    }
                     // A fresh tag can't be a duplicate, and a stream built
                     // straight off the scVolume resolves every block — but
                     // an injected-corrupt scVolume can produce a rejected
@@ -657,6 +781,9 @@ impl Squirrel {
             .total_seconds;
 
         self.registered.insert(image, Registration { snapshot_tag: tag.clone(), day: self.day });
+        // A delivered stream mirrors the scVolume's tip, restoring any cache
+        // the budget policy had evicted: clear the marks for restored files.
+        self.reconcile_evictions();
 
         self.obs.inc("squirrel_register_total");
         self.obs.add("squirrel_register_wire_bytes_total", wire);
@@ -665,6 +792,7 @@ impl Squirrel {
         self.obs.set_gauge("squirrel_registered_images", self.registered.len() as u64);
         self.obs.set_gauge("squirrel_scvol_ddt_entries", sc.unique_blocks);
         self.obs.set_gauge("squirrel_scvol_disk_bytes", sc.total_disk_bytes());
+        self.obs.set_gauge("squirrel_scvol_ddt_mem_bytes", sc.ddt_memory_bytes);
         span.field("cache_bytes", cache_bytes);
         span.field("wire_bytes", wire);
         span.field("nodes_updated", u64::from(updated));
@@ -768,6 +896,10 @@ impl Squirrel {
                     // Lagging node: retrying the same stream cannot help;
                     // the rejoin path owns the catch-up.
                     Err(RecvError::MissingBase(_)) => break,
+                    // Budget-evicted blocks are gone from this receiver;
+                    // no retry of the same diff can resolve them. The full
+                    // stream of the repair path will.
+                    Err(RecvError::MissingBlock(_)) => break,
                     // Corrupt source payload or unresolvable pointer:
                     // bounded retries, then give up.
                     Err(_) => continue,
@@ -795,26 +927,31 @@ impl Squirrel {
     /// the ccVolume holds the cache (zero network I/O), cold otherwise
     /// (CoW over the parallel file system).
     pub fn boot(&mut self, node: NodeId, image: ImageId) -> Result<BootOutcome, SquirrelError> {
-        let n = self
+        if !self
             .nodes
             .get(node as usize)
-            .ok_or(SquirrelError::NoSuchNode(node))?;
-        if !n.online {
+            .ok_or(SquirrelError::NoSuchNode(node))?
+            .online
+        {
             return Err(SquirrelError::NodeOffline(node));
         }
         if (image as usize) >= self.corpus.len() {
             return Err(SquirrelError::UnknownImage(image));
         }
+        self.note_popularity(image, 1);
+        let n = &self.nodes[node as usize];
 
         let name = Self::cache_file_name(image);
         let trace = paper_scale_trace(self.paper_ws_bytes(image), image as u64);
         // Trust, but verify: a hoarded cache only serves the boot if its
         // stored records still hash to their keys. Silent corruption
         // downgrades to the cold path — the shared volume is the safe
-        // fallback until scrub-and-repair heals the replica.
+        // fallback until scrub-and-repair heals the replica. A cache the
+        // budget policy evicted is degraded too: the boot works, from
+        // shared storage, exactly as the paper's partial hoarding promises.
         let cached = n.ccvol.has_file(&name);
         let warm = cached && n.ccvol.file_is_intact(&name).unwrap_or(false);
-        let degraded = cached && !warm;
+        let degraded = (cached && !warm) || (!cached && n.evicted.contains(&image));
 
         if warm {
             let backend = self.warm_backend(&n.ccvol, &name);
@@ -871,6 +1008,27 @@ impl Squirrel {
         })
     }
 
+    /// Count boots of `image` — the popularity signal
+    /// [`Self::enforce_hoard_budgets`] ranks eviction candidates by. Called
+    /// only from serial workflow code, so the counts (and the labeled
+    /// counter) are deterministic at any thread count.
+    fn note_popularity(&mut self, image: ImageId, boots: u64) {
+        *self.popularity.entry(image).or_insert(0) += boots;
+        if self.obs.is_enabled() {
+            self.obs.add_with(
+                "squirrel_image_boots_total",
+                &[("image", image.to_string().as_str())],
+                boots,
+            );
+        }
+    }
+
+    /// Boot count of `image` across single boots (1 each) and storms (VM
+    /// count each).
+    pub fn image_popularity(&self, image: ImageId) -> u64 {
+        self.popularity.get(&image).copied().unwrap_or(0)
+    }
+
     /// Per-node boot accounting (serial: boots never run concurrently).
     fn record_boot(&self, node: NodeId, image: ImageId, warm: bool, net_bytes: u64) {
         if !self.obs.is_enabled() {
@@ -920,6 +1078,7 @@ impl Squirrel {
         if online.is_empty() {
             return Err(SquirrelError::NodeOffline(0));
         }
+        self.note_popularity(image, u64::from(vms));
         let threads = self.config.threads;
         let bs = self.config.block_size as u64;
         let name = Self::cache_file_name(image);
@@ -948,7 +1107,8 @@ impl Squirrel {
 
         // Classify each participating node once: warm only when the cache
         // is present *and* passes the integrity walk; a present-but-corrupt
-        // cache serves its VMs degraded from shared storage.
+        // cache — like one the budget policy evicted — serves its VMs
+        // degraded from shared storage.
         let mut node_warm: BTreeMap<usize, bool> = BTreeMap::new();
         let mut node_degraded: BTreeMap<usize, bool> = BTreeMap::new();
         for &node in &assignments {
@@ -958,8 +1118,9 @@ impl Squirrel {
             let cc = &self.nodes[node].ccvol;
             let cached = cc.has_file(&name);
             let warm = cached && cc.file_is_intact(&name).unwrap_or(false);
+            let evicted = !cached && self.nodes[node].evicted.contains(&image);
             node_warm.insert(node, warm);
-            node_degraded.insert(node, cached && !warm);
+            node_degraded.insert(node, (cached && !warm) || evicted);
         }
 
         // Cold nodes fetch the working set over the network up front
@@ -1208,12 +1369,28 @@ impl Squirrel {
                     .map_err(SquirrelError::Net)?;
                 // The transactional recv applies the catch-up stream
                 // all-or-nothing.
-                self.nodes[idx].ccvol.recv(&stream).map_err(SquirrelError::Recv)?;
-                self.obs.add_with("squirrel_rejoin_total", &[("outcome", "incremental")], 1);
-                self.obs.add("squirrel_rejoin_wire_bytes_total", wire);
-                span.field("outcome", "incremental");
-                span.field("wire_bytes", wire);
-                return Ok(RejoinOutcome::Incremental { wire_bytes: wire });
+                match self.nodes[idx].ccvol.recv(&stream) {
+                    Ok(()) => {
+                        // The stream mirrors the scVolume's tip, restoring
+                        // any budget-evicted cache it could resolve.
+                        self.reconcile_evictions();
+                        self.obs.add_with(
+                            "squirrel_rejoin_total",
+                            &[("outcome", "incremental")],
+                            1,
+                        );
+                        self.obs.add("squirrel_rejoin_wire_bytes_total", wire);
+                        span.field("outcome", "incremental");
+                        span.field("wire_bytes", wire);
+                        return Ok(RejoinOutcome::Incremental { wire_bytes: wire });
+                    }
+                    // A budget eviction purged blocks the diff counts on
+                    // the receiver holding; only the full stream below can
+                    // resolve them. (The failed attempt's wire bytes stay
+                    // charged: the transfer happened, the apply didn't.)
+                    Err(RecvError::MissingBlock(_)) => {}
+                    Err(e) => return Err(SquirrelError::Recv(e)),
+                }
             }
         }
 
@@ -1226,14 +1403,14 @@ impl Squirrel {
         self.net
             .try_unicast(storage, node, wire)
             .map_err(SquirrelError::Net)?;
-        let mut fresh = ZPool::new(
-            PoolConfig::new(self.config.block_size, self.config.codec)
-                .with_threads(self.config.threads),
-        );
+        let mut fresh = ZPool::new(Self::ccvol_pool_config(&self.config));
         // The rebuilt pool records into the same shared ccVolume series.
         fresh.set_metrics(&self.ccvol_obs);
         fresh.recv(&stream).map_err(SquirrelError::Recv)?;
         self.nodes[idx].ccvol = fresh;
+        // A full replication hoards everything again; the budget pass (if
+        // any) re-evicts on its next run.
+        self.nodes[idx].evicted.clear();
         self.obs.add_with("squirrel_rejoin_total", &[("outcome", "full-replication")], 1);
         self.obs.add("squirrel_rejoin_wire_bytes_total", wire);
         span.field("outcome", "full-replication");
@@ -1351,27 +1528,159 @@ impl Squirrel {
         Ok(stats)
     }
 
-    /// Evict one cache from one node's ccVolume (models a capacity-limited
-    /// node running a replacement policy instead of full scatter hoarding —
-    /// the traditional alternative the paper argues against). Subsequent
-    /// boots of that image on that node take the cold path until the next
-    /// diff restores it.
+    /// Evict one cache from one node's ccVolume (capacity-limited partial
+    /// hoarding, paper Section 4.3 — also what [`Self::enforce_hoard_budgets`]
+    /// calls per victim). The cache is *purged*: live file and snapshot
+    /// references both go, so the blocks nothing else shares actually leave
+    /// the disk and the DDT. Subsequent boots of that image on that node are
+    /// degraded (served from shared storage) until a diff or an explicit
+    /// [`Self::rehoard_cache`] restores it.
     pub fn evict_cache(
         &mut self,
         node: NodeId,
         image: ImageId,
     ) -> Result<EvictReport, SquirrelError> {
+        let popularity = self.image_popularity(image);
         let n = self
             .nodes
             .get_mut(node as usize)
             .ok_or(SquirrelError::NoSuchNode(node))?;
         let name = Self::cache_file_name(image);
         let had = n.ccvol.has_file(&name);
-        n.ccvol.delete_file(&name);
-        if had {
-            self.obs.inc("squirrel_cache_evictions_total");
+        if !had {
+            return Ok(EvictReport {
+                node,
+                image,
+                was_cached: false,
+                disk_bytes_freed: 0,
+                ddt_mem_bytes_freed: 0,
+                popularity,
+            });
         }
-        Ok(EvictReport { node, image, was_cached: had })
+        let before = n.ccvol.stats();
+        n.ccvol.purge_file(&name);
+        n.evicted.insert(image);
+        let after = n.ccvol.stats();
+        self.obs.inc("squirrel_cache_evictions_total");
+        Ok(EvictReport {
+            node,
+            image,
+            was_cached: true,
+            disk_bytes_freed: before
+                .total_disk_bytes()
+                .saturating_sub(after.total_disk_bytes()),
+            ddt_mem_bytes_freed: before.ddt_memory_bytes.saturating_sub(after.ddt_memory_bytes),
+            popularity,
+        })
+    }
+
+    /// Drop eviction marks for caches a stream delivery restored: once the
+    /// file is present again the node is simply hoarding it, and replication
+    /// checks hold it to the full reference.
+    fn reconcile_evictions(&mut self) {
+        for node in &mut self.nodes {
+            let ccvol = &node.ccvol;
+            node.evicted.retain(|&img| !ccvol.has_file(&Self::cache_file_name(img)));
+        }
+    }
+
+    /// One deterministic hoard-budget enforcement pass (the tentpole of the
+    /// paper's feasibility argument turned into a policy): for every compute
+    /// node whose ccVolume exceeds [`SquirrelConfig::hoard_budget`] on
+    /// either axis, evict whole image caches — least-booted first, ties
+    /// broken by ascending image id — until the node fits. Nodes are visited
+    /// in id order and every decision reads only serial state (popularity
+    /// counts and pool accounting), so the eviction sequence is bit-identical
+    /// at any thread count.
+    ///
+    /// A node that stays over budget after losing every cache is reported in
+    /// [`BudgetReport::nodes_still_over`], not wedged: its images all serve
+    /// degraded from shared storage.
+    pub fn enforce_hoard_budgets(&mut self) -> BudgetReport {
+        let mut report = BudgetReport::default();
+        if self.config.hoard_budget.is_unlimited() {
+            return report;
+        }
+        let mut span = self.obs.span("enforce_budget");
+        self.obs
+            .set_gauge("squirrel_hoard_max_disk_bytes", self.config.hoard_budget.disk_bytes);
+        self.obs.set_gauge(
+            "squirrel_hoard_max_ddt_mem_bytes",
+            self.config.hoard_budget.ddt_mem_bytes,
+        );
+        for node in 0..self.nodes.len() as NodeId {
+            if self.nodes[node as usize].ccvol.within_quota() {
+                continue;
+            }
+            report.nodes_over_budget += 1;
+            while !self.nodes[node as usize].ccvol.within_quota() {
+                let victim = self.nodes[node as usize]
+                    .ccvol
+                    .file_names()
+                    .filter_map(Self::image_of_cache_name)
+                    .map(|img| (self.image_popularity(img), img))
+                    .min();
+                let Some((_, image)) = victim else {
+                    report.nodes_still_over += 1;
+                    break;
+                };
+                let ev = self.evict_cache(node, image).expect("node exists");
+                report.disk_bytes_freed += ev.disk_bytes_freed;
+                report.ddt_mem_bytes_freed += ev.ddt_mem_bytes_freed;
+                report.evictions.push(ev);
+            }
+        }
+        self.obs.add("squirrel_budget_evictions_total", report.evictions.len() as u64);
+        self.obs.add("squirrel_budget_bytes_freed_total", report.disk_bytes_freed);
+        span.field("evictions", report.evictions.len() as u64);
+        span.field("nodes_over_budget", u64::from(report.nodes_over_budget));
+        span.field("disk_bytes_freed", report.disk_bytes_freed);
+        report
+    }
+
+    /// Pull an evicted (or never-delivered) cache back from the scVolume on
+    /// demand — the paper's partial-hoarding fallback. The node re-imports
+    /// the cache's blocks through its own ingest path, which lands it in a
+    /// state bit-identical to the original hoard (same keys, same frames:
+    /// compression is deterministic). The transfer is charged to the network
+    /// ledgers like a repair re-fetch.
+    pub fn rehoard_cache(
+        &mut self,
+        node: NodeId,
+        image: ImageId,
+    ) -> Result<RehoardReport, SquirrelError> {
+        let idx = node as usize;
+        if idx >= self.nodes.len() {
+            return Err(SquirrelError::NoSuchNode(node));
+        }
+        if !self.nodes[idx].online {
+            return Err(SquirrelError::NodeOffline(node));
+        }
+        let name = Self::cache_file_name(image);
+        if !self.scvol.has_file(&name) {
+            return Err(SquirrelError::NotRegistered(image));
+        }
+        let mut span = self.obs.span("rehoard");
+        span.field("node", node);
+        span.field("image", image);
+        let refs = self.scvol.block_refs(&name).expect("file checked above");
+        // Compressed frames + 24-byte record headers, like repair transfers.
+        let wire: u64 = refs.iter().flatten().map(|r| u64::from(r.psize) + 24).sum();
+        let storage = self.config.compute_nodes;
+        self.net
+            .try_unicast(storage, node, wire)
+            .map_err(SquirrelError::Net)?;
+        let len = self.scvol.file_len(&name).expect("file checked above");
+        let blocks: Vec<Vec<u8>> = (0..refs.len() as u64)
+            .map(|b| self.scvol.read_block(&name, b).expect("file checked above"))
+            .collect();
+        let nblocks = blocks.len() as u64;
+        self.nodes[idx].ccvol.import_file(&name, blocks.into_iter(), len);
+        self.nodes[idx].evicted.remove(&image);
+        self.obs.inc("squirrel_rehoard_total");
+        self.obs.add("squirrel_rehoard_wire_bytes_total", wire);
+        span.field("wire_bytes", wire);
+        Ok(RehoardReport { node, image, wire_bytes: wire, blocks: nblocks })
     }
 
     /// Whether `node`'s ccVolume currently holds `image`'s cache.
@@ -1608,10 +1917,21 @@ impl Squirrel {
             .enumerate()
             .map(|(i, n)| {
                 let cc: Vec<&str> = n.ccvol.file_names().collect();
+                // A budget-evicted cache is *deliberately* absent from this
+                // node: hold the node to the reference minus its evictions,
+                // or repair would re-hoard what the budget just reclaimed.
+                let expected: Vec<&str> = reference
+                    .iter()
+                    .copied()
+                    .filter(|name| {
+                        !Self::image_of_cache_name(name)
+                            .is_some_and(|img| n.evicted.contains(&img))
+                    })
+                    .collect();
                 NodeReplication {
                     node: i as NodeId,
                     online: n.online,
-                    in_sync: cc == reference,
+                    in_sync: cc == expected,
                     file_count: cc.len(),
                 }
             })
@@ -2283,6 +2603,275 @@ mod tests {
             assert_eq!(run(threads, 21), reference, "threads={threads}");
         }
         assert_ne!(run(1, 22).1, reference.1, "different seed, different schedule");
+    }
+
+    // --- hoard budgets ------------------------------------------------------
+
+    /// A system over the same corpus as [`small_system`], with a per-node
+    /// hoard budget.
+    fn budgeted_system(nodes: u32, budget: HoardBudget) -> Squirrel {
+        let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+        Squirrel::new(
+            SquirrelConfig {
+                compute_nodes: nodes,
+                block_size: 16 * 1024,
+                hoard_budget: budget,
+                ..Default::default()
+            },
+            corpus,
+        )
+    }
+
+    #[test]
+    fn unlimited_budget_enforcement_is_a_noop() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("register");
+        let report = sq.enforce_hoard_budgets();
+        assert_eq!(report, BudgetReport::default());
+        assert!(report.is_within_budget());
+        assert!(sq.check_replication().is_consistent());
+    }
+
+    #[test]
+    fn budget_equal_to_footprint_evicts_nothing() {
+        let mut probe = small_system(1);
+        for img in 0..3 {
+            probe.register(img).expect("register");
+        }
+        let full = probe.ccvol_stats(0).expect("node");
+        let mut sq = budgeted_system(
+            1,
+            HoardBudget {
+                disk_bytes: full.total_disk_bytes(),
+                ddt_mem_bytes: full.ddt_memory_bytes,
+            },
+        );
+        for img in 0..3 {
+            sq.register(img).expect("register");
+        }
+        let report = sq.enforce_hoard_budgets();
+        assert!(report.evictions.is_empty(), "{report:?}");
+        assert_eq!(report.nodes_over_budget, 0);
+        assert!(report.is_within_budget());
+        assert!(sq.boot(0, 0).expect("boot").warm);
+    }
+
+    #[test]
+    fn budget_enforcement_evicts_least_popular_first() {
+        let mut probe = small_system(1);
+        for img in 0..3 {
+            probe.register(img).expect("register");
+        }
+        let full = probe.ccvol_stats(0).expect("node").total_disk_bytes();
+        // A disk budget one byte under the full hoard: at least one cache
+        // must go.
+        let mut sq =
+            budgeted_system(1, HoardBudget { disk_bytes: full - 1, ddt_mem_bytes: 0 });
+        for img in 0..3 {
+            sq.register(img).expect("register");
+        }
+        // Popularity skew: image 0 never boots, image 1 once, image 2 most.
+        sq.boot(0, 1).expect("boot");
+        sq.boot(0, 2).expect("boot");
+        sq.boot(0, 2).expect("boot");
+        assert_eq!(sq.image_popularity(0), 0);
+        assert_eq!(sq.image_popularity(1), 1);
+        assert_eq!(sq.image_popularity(2), 2);
+
+        let report = sq.enforce_hoard_budgets();
+        assert_eq!(report.nodes_over_budget, 1);
+        assert!(report.is_within_budget());
+        assert!(!report.evictions.is_empty());
+        assert_eq!(report.evictions[0].image, 0, "least popular goes first");
+        assert!(report.evictions[0].was_cached);
+        assert!(report.evictions[0].disk_bytes_freed > 0);
+        assert!(report.evictions[0].ddt_mem_bytes_freed > 0);
+        assert_eq!(report.evictions[0].popularity, 0);
+        assert!(report.disk_bytes_freed >= report.evictions[0].disk_bytes_freed);
+        // The node actually fits now, and the metrics recorded the pass.
+        let cc = sq.ccvol_stats(0).expect("node");
+        assert!(cc.total_disk_bytes() < full);
+        let snap = sq.metrics().snapshot();
+        assert_eq!(
+            snap.counter("squirrel_budget_evictions_total"),
+            Some(report.evictions.len() as u64)
+        );
+        assert_eq!(snap.gauge_u64("squirrel_hoard_max_disk_bytes"), Some(full - 1));
+        // Evicted images boot degraded from shared storage, warm ones warm.
+        let evicted: Vec<ImageId> = report.evictions.iter().map(|e| e.image).collect();
+        let out = sq.boot(0, evicted[0]).expect("degraded boot");
+        assert!(!out.warm && out.degraded, "{out:?}");
+        assert!(out.net_bytes > 0);
+        // Replication stays consistent: evictions are deliberate, not lag.
+        assert!(sq.check_replication().is_consistent());
+        // Idempotent: a second pass finds every node within budget.
+        let again = sq.enforce_hoard_budgets();
+        assert!(again.evictions.is_empty(), "{again:?}");
+        assert_eq!(again.nodes_over_budget, 0);
+    }
+
+    #[test]
+    fn starved_budget_degrades_everything_but_never_wedges() {
+        // A budget smaller than any single cache: every cache goes, the
+        // node may stay nominally over (pool overhead), and every image
+        // still boots — degraded.
+        let mut sq = budgeted_system(1, HoardBudget { disk_bytes: 1, ddt_mem_bytes: 1 });
+        for img in 0..3 {
+            sq.register(img).expect("register");
+        }
+        let report = sq.enforce_hoard_budgets();
+        assert_eq!(report.nodes_over_budget, 1);
+        assert_eq!(report.evictions.len(), 3, "{report:?}");
+        assert_eq!(sq.ccvol_file_count(0), Some(0));
+        for img in 0..3 {
+            let out = sq.boot(0, img).expect("boot still works");
+            assert!(!out.warm && out.degraded, "image {img}: {out:?}");
+        }
+        assert!(sq.check_replication().is_consistent());
+    }
+
+    #[test]
+    fn rehoard_restores_warm_boot_bit_identically() {
+        let mut probe = small_system(1);
+        for img in 0..2 {
+            probe.register(img).expect("register");
+        }
+        let full = probe.ccvol_stats(0).expect("node").total_disk_bytes();
+        let mut sq =
+            budgeted_system(1, HoardBudget { disk_bytes: full - 1, ddt_mem_bytes: 0 });
+        for img in 0..2 {
+            sq.register(img).expect("register");
+        }
+        let first = sq.ccvol_stats(0).expect("node");
+        let baselines: Vec<BootVerification> =
+            (0..2).map(|img| sq.verify_boot(0, img).expect("baseline verify")).collect();
+        let report = sq.enforce_hoard_budgets();
+        let victim = report.evictions[0].image;
+        assert!(!sq.has_cache(0, victim));
+        assert!(!sq.boot(0, victim).expect("boot").warm);
+
+        let re = sq.rehoard_cache(0, victim).expect("rehoard");
+        assert_eq!(re.node, 0);
+        assert_eq!(re.image, victim);
+        assert!(re.wire_bytes > 0, "re-hoard crosses the network");
+        assert!(re.blocks > 0);
+        assert!(sq.has_cache(0, victim));
+        // Bit-identical to the first hoard: same live space accounting
+        // (snapshot history legitimately slims down — the purge removed the
+        // cache from old snapshots too), and the full decompress-and-compare
+        // walk sees the original image bytes.
+        let after = sq.ccvol_stats(0).expect("node");
+        assert_eq!(after.logical_bytes, first.logical_bytes);
+        assert_eq!(after.unique_blocks, first.unique_blocks);
+        assert_eq!(after.physical_bytes, first.physical_bytes);
+        assert_eq!(after.ddt_memory_bytes, first.ddt_memory_bytes);
+        let v = sq.verify_boot(0, victim).expect("verify");
+        assert!(v.bytes_verified > 0);
+        assert_eq!(v, baselines[victim as usize], "same fetch profile as the first hoard");
+        let out = sq.boot(0, victim).expect("boot");
+        assert!(out.warm && !out.degraded, "{out:?}");
+        assert!(sq.check_replication().is_consistent());
+    }
+
+    #[test]
+    fn register_after_eviction_leaves_node_lagging_until_repair() {
+        // An incremental diff can reference blocks the budget purge freed.
+        // Same-release images share boot working-set blocks, so registering
+        // one after evicting the other ships a diff whose pointers the
+        // sender knows the receiver "already has" — except the purge freed
+        // them. The node skips the stream (MissingBlock), stays lagging,
+        // and the repair path's full replication re-hoards everything.
+        let (a, b) = (0, 2); // same Ubuntu release in this corpus
+        let mut cfg = CorpusConfig::test_corpus(8, 77);
+        cfg.scale = 2048; // big enough caches for cross-image block sharing
+        // Guard: a and b really do share cache blocks at this scale.
+        {
+            let corpus = Arc::new(Corpus::generate(cfg.clone()));
+            let mut probe = Squirrel::new(
+                SquirrelConfig { compute_nodes: 1, block_size: 16 * 1024, ..Default::default() },
+                corpus,
+            );
+            probe.register(a).expect("probe a");
+            let solo = probe.ccvol_stats(0).expect("node");
+            probe.register(b).expect("probe b");
+            let both = probe.ccvol_stats(0).expect("node");
+            assert!(
+                both.unique_blocks < 2 * solo.unique_blocks,
+                "corpus drifted: caches {a} and {b} no longer dedup"
+            );
+        }
+
+        let corpus = Arc::new(Corpus::generate(cfg));
+        let mut sq = Squirrel::new(
+            SquirrelConfig {
+                compute_nodes: 2,
+                block_size: 16 * 1024,
+                hoard_budget: HoardBudget { disk_bytes: 1, ddt_mem_bytes: 1 },
+                ..Default::default()
+            },
+            corpus,
+        );
+        sq.register(a).expect("register a");
+        let evicted = sq.enforce_hoard_budgets();
+        assert_eq!(evicted.evictions.len(), 2, "both nodes drop the cache");
+
+        let r = sq.register(b).expect("register proceeds on the scVolume");
+        assert_eq!(r.nodes_updated, 0, "purged nodes skip the diff");
+        assert!(!sq.check_replication().is_consistent());
+
+        let sync = sq.repair_replication();
+        assert!(sync.all_repaired(), "{sync:?}");
+        assert!(sq.check_replication().is_consistent());
+        // Full replication re-hoarded everything, marks included.
+        assert!(sq.has_cache(0, a) && sq.has_cache(0, b));
+        assert!(sq.boot(0, b).expect("boot").warm);
+        // The budget pass then re-evicts deterministically.
+        let again = sq.enforce_hoard_budgets();
+        assert!(again.is_within_budget());
+        assert!(!again.evictions.is_empty());
+    }
+
+    #[test]
+    fn budget_enforcement_is_deterministic_across_thread_counts() {
+        let mut probe = small_system(1);
+        for img in 0..4 {
+            probe.register(img).expect("register");
+        }
+        let full = probe.ccvol_stats(0).expect("node").total_disk_bytes();
+        let run = |threads: usize| {
+            let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+            let mut sq = Squirrel::new(
+                SquirrelConfig {
+                    compute_nodes: 3,
+                    block_size: 16 * 1024,
+                    threads,
+                    hoard_budget: HoardBudget { disk_bytes: full / 2, ddt_mem_bytes: 0 },
+                    ..Default::default()
+                },
+                corpus,
+            );
+            for img in 0..4 {
+                sq.register(img).expect("register");
+            }
+            sq.boot(0, 3).expect("boot");
+            let storm = sq.boot_storm(1, 6).expect("storm");
+            let report = sq.enforce_hoard_budgets();
+            (report, storm.read_checksum, sq.metrics().snapshot())
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rehoard_errors_match_the_workflow_contract() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("register");
+        assert!(matches!(sq.rehoard_cache(9, 0), Err(SquirrelError::NoSuchNode(9))));
+        assert!(matches!(sq.rehoard_cache(0, 5), Err(SquirrelError::NotRegistered(5))));
+        sq.node_offline(1).expect("offline");
+        assert!(matches!(sq.rehoard_cache(1, 0), Err(SquirrelError::NodeOffline(1))));
     }
 
     #[test]

@@ -156,6 +156,12 @@ impl ArcCache {
             return;
         }
         let size = data.len() as u64;
+        if size > self.capacity_bytes {
+            // Larger than the whole cache: bypass *before* evicting anything
+            // — flushing residents for a record that can never fit would only
+            // destroy the working set.
+            return;
+        }
         while self.used_bytes + size > self.capacity_bytes {
             let Some(victim) = self.tail else { break };
             self.unlink(victim);
@@ -163,9 +169,6 @@ impl ArcCache {
             self.used_bytes -= e.data.len() as u64;
             self.stats.evictions += 1;
             self.evictions.inc();
-        }
-        if size > self.capacity_bytes {
-            return; // larger than the whole cache: bypass
         }
         self.used_bytes += size;
         self.entries.insert(key, Entry { data, prev: None, next: None });
@@ -256,6 +259,25 @@ mod tests {
         arc.insert(1, shared(1, 100));
         assert!(arc.is_empty());
         assert_eq!(arc.used_bytes(), 0);
+    }
+
+    /// Regression test for the eviction-ordering bug: `insert` used to run
+    /// the LRU eviction loop *before* the oversized-bypass check, so one
+    /// payload larger than the whole cache flushed every resident entry and
+    /// then bypassed anyway. A bypass must leave the residents (and the
+    /// eviction counter) untouched.
+    #[test]
+    fn oversized_insert_into_warm_cache_keeps_residents() {
+        let mut arc = ArcCache::new(250);
+        arc.insert(1, shared(1, 100));
+        arc.insert(2, shared(2, 100));
+        arc.insert(9, shared(9, 300)); // larger than the cache: bypass
+        assert_eq!(arc.len(), 2, "residents must survive the bypass");
+        assert_eq!(arc.used_bytes(), 200);
+        assert_eq!(arc.stats().evictions, 0, "a bypass evicts nothing");
+        assert!(arc.get(1).is_some());
+        assert!(arc.get(2).is_some());
+        assert!(arc.get(9).is_none());
     }
 
     #[test]

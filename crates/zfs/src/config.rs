@@ -30,6 +30,15 @@ pub struct PoolConfig {
     /// ([`crate::ZPool::import_file_parallel`]); `0` = all available cores.
     /// Results are bit-identical at any setting.
     pub threads: usize,
+    /// Hoard budget: total on-disk bytes this pool should occupy
+    /// ([`crate::SpaceStats::total_disk_bytes`]); `0` = unlimited. The pool
+    /// only *reports* pressure ([`crate::ZPool::quota_excess`]) — eviction
+    /// policy lives with the caller.
+    pub disk_quota_bytes: u64,
+    /// Hoard budget: in-core DDT bytes (`ddt_mem_entry_bytes` × unique
+    /// blocks); `0` = unlimited. Reported, not enforced, like
+    /// [`disk_quota_bytes`](Self::disk_quota_bytes).
+    pub ddt_mem_quota_bytes: u64,
 }
 
 impl Default for PoolConfig {
@@ -61,6 +70,8 @@ impl PoolConfig {
             ddt_disk_entry_bytes: 108,
             bp_disk_bytes: 40,
             threads: 0,
+            disk_quota_bytes: 0,
+            ddt_mem_quota_bytes: 0,
         }
     }
 
@@ -73,6 +84,13 @@ impl PoolConfig {
     /// Set the ingestion worker-thread count (`0` = all available cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Set the hoard budget (`0` = unlimited on either axis).
+    pub fn with_quotas(mut self, disk_bytes: u64, ddt_mem_bytes: u64) -> Self {
+        self.disk_quota_bytes = disk_bytes;
+        self.ddt_mem_quota_bytes = ddt_mem_bytes;
         self
     }
 }
@@ -120,6 +138,18 @@ impl PoolConfigBuilder {
     /// Ingestion worker threads (`0` = all available cores).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// On-disk hoard budget in bytes (`0` = unlimited).
+    pub fn disk_quota_bytes(mut self, bytes: u64) -> Self {
+        self.config.disk_quota_bytes = bytes;
+        self
+    }
+
+    /// In-core DDT hoard budget in bytes (`0` = unlimited).
+    pub fn ddt_mem_quota_bytes(mut self, bytes: u64) -> Self {
+        self.config.ddt_mem_quota_bytes = bytes;
         self
     }
 
@@ -179,6 +209,22 @@ mod tests {
     #[should_panic(expected = "record size")]
     fn builder_validates_block_size() {
         let _ = PoolConfig::builder().block_size(1000).build();
+    }
+
+    #[test]
+    fn quotas_default_unlimited_and_are_settable() {
+        let d = PoolConfig::paper_default();
+        assert_eq!(d.disk_quota_bytes, 0);
+        assert_eq!(d.ddt_mem_quota_bytes, 0);
+        let c = PoolConfig::new(4096, Codec::Lz4).with_quotas(1 << 30, 1 << 20);
+        assert_eq!(c.disk_quota_bytes, 1 << 30);
+        assert_eq!(c.ddt_mem_quota_bytes, 1 << 20);
+        let b = PoolConfig::builder()
+            .disk_quota_bytes(10_000)
+            .ddt_mem_quota_bytes(60)
+            .build();
+        assert_eq!(b.disk_quota_bytes, 10_000);
+        assert_eq!(b.ddt_mem_quota_bytes, 60);
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub use pool::{BlockRef, ZPool};
 pub use scrub::ScrubReport;
 pub use send::{DecodeError, RecvError, SendError, SendStream};
 pub use sharedarc::SharedArcCache;
-pub use stats::SpaceStats;
+pub use stats::{QuotaExcess, SpaceStats};

@@ -369,6 +369,73 @@ impl ZPool {
         Some(if total == 0 { 0.0 } else { shared as f64 / total as f64 })
     }
 
+    /// In-core dedup-table footprint: per-entry overhead × unique blocks —
+    /// the paper's ~60 MB-per-node memory budget axis (Figure 10).
+    pub fn ddt_memory_bytes(&self) -> u64 {
+        self.ddt.len() as u64 * self.config.ddt_mem_entry_bytes
+    }
+
+    /// How far this pool is over its configured hoard budget
+    /// ([`PoolConfig::disk_quota_bytes`] / [`PoolConfig::ddt_mem_quota_bytes`];
+    /// `0` = unlimited on that axis). The pool reports pressure; whole-cache
+    /// eviction policy lives with the node layer.
+    pub fn quota_excess(&self) -> crate::QuotaExcess {
+        let s = self.stats();
+        let over = |used: u64, quota: u64| {
+            if quota == 0 {
+                0
+            } else {
+                used.saturating_sub(quota)
+            }
+        };
+        crate::QuotaExcess {
+            disk_bytes: over(s.total_disk_bytes(), self.config.disk_quota_bytes),
+            ddt_mem_bytes: over(s.ddt_memory_bytes, self.config.ddt_mem_quota_bytes),
+        }
+    }
+
+    /// True when the pool is within its hoard budget on both axes (always
+    /// true for unlimited pools).
+    pub fn within_quota(&self) -> bool {
+        self.quota_excess().is_zero()
+    }
+
+    /// Publish the pool's space accounting as gauges. Gauges are
+    /// last-write-wins, so call this only from serial workflow code (the
+    /// pool's counters stay deterministic under fan-out; these gauges are a
+    /// snapshot, not an accumulator).
+    pub fn publish_space_gauges(&self, metrics: &Metrics) {
+        let s = self.stats();
+        metrics.set_gauge("zpool_disk_bytes", s.total_disk_bytes());
+        metrics.set_gauge("zpool_ddt_entries", s.unique_blocks);
+        metrics.set_gauge("zpool_ddt_mem_bytes", s.ddt_memory_bytes);
+    }
+
+    /// Purge `name` everywhere: the live dataset *and* every snapshot drop
+    /// the file, releasing all of its block references. Unlike
+    /// [`delete_file`](Self::delete_file) — where snapshots keep pinning the
+    /// payloads — a purge frees every DDT entry nothing else shares, which
+    /// is what hoard-budget eviction needs to reclaim disk and DDT memory.
+    /// Returns whether anything was removed.
+    pub fn purge_file(&mut self, name: &str) -> bool {
+        let mut removed: Vec<FileTable> = Vec::new();
+        if let Some(t) = self.files.remove(name) {
+            removed.push(t);
+        }
+        for snap in &mut self.snapshots {
+            if let Some(t) = snap.files.remove(name) {
+                removed.push(t);
+            }
+        }
+        let any = !removed.is_empty();
+        for table in removed {
+            for key in table.ptrs.iter().copied().flatten() {
+                self.ddt.release(&key);
+            }
+        }
+        any
+    }
+
     /// Invariant check used by tests: every refcount equals the number of
     /// live + snapshot pointers to that block.
     pub fn check_refcounts(&self) -> bool {
@@ -500,6 +567,88 @@ mod tests {
         let mut p = pool(512);
         p.snapshot("x");
         p.snapshot("x");
+    }
+
+    #[test]
+    fn purge_file_frees_snapshot_pinned_blocks() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.create_file("b");
+        p.write_block("a", 0, &block(512, 1));
+        p.write_block("b", 0, &block(512, 1)); // shared with "a"
+        p.write_block("b", 1, &block(512, 2)); // private to "b"
+        p.snapshot("s1");
+        p.snapshot("s2");
+        assert!(p.purge_file("b"));
+        assert!(!p.has_file("b"));
+        for tag in ["s1", "s2"] {
+            assert_eq!(
+                p.snapshot_file_names(tag).expect("snapshot"),
+                vec!["a"],
+                "{tag} must forget the purged file"
+            );
+        }
+        let s = p.stats();
+        assert_eq!(s.unique_blocks, 1, "shared block survives, private freed");
+        assert!(p.check_refcounts());
+        assert!(!p.purge_file("b"), "second purge is a no-op");
+        assert!(!p.purge_file("never-existed"));
+    }
+
+    #[test]
+    fn quota_excess_reports_pressure_per_axis() {
+        let mut p = pool(512);
+        p.create_file("a");
+        for i in 0..4u64 {
+            p.write_block("a", i, &block(512, i as u8 + 1));
+        }
+        let s = p.stats();
+        assert_eq!(p.ddt_memory_bytes(), s.ddt_memory_bytes);
+        assert_eq!(p.ddt_memory_bytes(), 4 * 120);
+        // Unlimited (the default): never over.
+        assert!(p.within_quota());
+        assert!(p.quota_excess().is_zero());
+        // Budget exactly equal to the footprint: still within.
+        let mut exact = ZPool::new(
+            PoolConfig::new(512, Codec::Lzjb)
+                .with_quotas(s.total_disk_bytes(), s.ddt_memory_bytes),
+        );
+        exact.create_file("a");
+        for i in 0..4u64 {
+            exact.write_block("a", i, &block(512, i as u8 + 1));
+        }
+        assert!(exact.within_quota(), "quota == footprint is not over-budget");
+        // Starved on both axes: excess is the shortfall, per axis.
+        let mut starved = ZPool::new(
+            PoolConfig::new(512, Codec::Lzjb)
+                .with_quotas(s.total_disk_bytes() - 10, s.ddt_memory_bytes - 100),
+        );
+        starved.create_file("a");
+        for i in 0..4u64 {
+            starved.write_block("a", i, &block(512, i as u8 + 1));
+        }
+        let excess = starved.quota_excess();
+        assert_eq!(excess.disk_bytes, 10);
+        assert_eq!(excess.ddt_mem_bytes, 100);
+        assert!(!starved.within_quota());
+        // Back under budget once the file is purged.
+        assert!(starved.purge_file("a"));
+        assert!(starved.within_quota());
+    }
+
+    #[test]
+    fn space_gauges_publish_current_footprint() {
+        let registry = squirrel_obs::MetricsRegistry::new();
+        let mut p = pool(512);
+        p.set_metrics(&registry.handle());
+        p.create_file("a");
+        p.write_block("a", 0, &block(512, 3));
+        p.publish_space_gauges(&registry.handle());
+        let snap = registry.snapshot();
+        let s = p.stats();
+        assert_eq!(snap.gauge_u64("zpool_disk_bytes"), Some(s.total_disk_bytes()));
+        assert_eq!(snap.gauge_u64("zpool_ddt_entries"), Some(1));
+        assert_eq!(snap.gauge_u64("zpool_ddt_mem_bytes"), Some(120));
     }
 
     #[test]

@@ -32,6 +32,24 @@ impl SpaceStats {
     }
 }
 
+/// How far a pool is over its hoard budget, per axis. Zero on both axes
+/// means within budget (or no budget configured).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use]
+pub struct QuotaExcess {
+    /// Bytes of total disk consumption above `disk_quota_bytes`.
+    pub disk_bytes: u64,
+    /// Bytes of in-core DDT footprint above `ddt_mem_quota_bytes`.
+    pub ddt_mem_bytes: u64,
+}
+
+impl QuotaExcess {
+    /// True when the pool is within budget on both axes.
+    pub fn is_zero(&self) -> bool {
+        self.disk_bytes == 0 && self.ddt_mem_bytes == 0
+    }
+}
+
 /// Pretty byte counts for experiment output.
 pub fn human_bytes(b: u64) -> String {
     const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];

@@ -35,6 +35,21 @@ grep -q '"deterministic_across_threads": true' results/BENCH_bootstorm.json
 grep -Eq '"arc_hit_rate": 0\.[0-9]*[1-9]' results/BENCH_bootstorm.json
 grep -q '"payload_bytes_copied": 0,' results/BENCH_bootstorm.json
 
+echo "== ingest bench smoke (release) =="
+rm -f results/BENCH_ingest.json
+cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \
+    ingest | grep '^ingest '
+test -f results/BENCH_ingest.json
+# The parallel import leaves bit-identical pool state and metrics at every
+# thread count (the run aborts otherwise), carries the per-stage wall-clock
+# breakdown, and is never slower than serial at threads 2 or 8.
+grep -q '"deterministic_across_threads": true' results/BENCH_ingest.json
+grep -q '"prepare_ns"' results/BENCH_ingest.json
+grep -q '"probe_ns"' results/BENCH_ingest.json
+grep -q '"compress_ns"' results/BENCH_ingest.json
+grep -q '"commit_ns"' results/BENCH_ingest.json
+grep -q '"speedup_gate": "pass"' results/BENCH_ingest.json
+
 echo "== chaos soak (release, pinned seed) =="
 rm -f results/BENCH_chaos.json
 cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \

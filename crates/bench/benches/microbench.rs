@@ -110,78 +110,37 @@ fn bench_zfs(c: &mut Criterion) {
     g.finish();
 }
 
-/// Ingest pipeline: serial write_block replay vs the staged parallel
-/// import, measured end to end in blocks/sec and dumped to
-/// `results/BENCH_ingest.json` for the acceptance record.
+/// Ingest pipeline micro-number. The full thread sweep — phase breakdown,
+/// determinism check, speedup gate, `results/BENCH_ingest.json` — lives in
+/// the `ingest` experiment (`squirrel-experiments ingest`); this keeps a
+/// criterion-tracked throughput figure on the same workload builder.
 fn bench_ingest(c: &mut Criterion) {
-    let bs = 65536usize;
+    let bs = squirrel_bench::experiments::ingest::INGEST_BLOCK_SIZE;
     let n_blocks = 192usize;
-    let corpus = Corpus::generate(CorpusConfig::test_corpus(4, 21));
-    let img = corpus.image(0);
-    let blocks: Vec<Vec<u8>> = (0..n_blocks)
-        .map(|i| {
-            let mut buf = vec![0u8; bs];
-            // Wrap over the image so the batch mixes unique, duplicate, and
-            // zero blocks like a real cache ingest.
-            img.read_at((i as u64 * bs as u64) % img.virtual_bytes().max(1), &mut buf);
-            buf
-        })
-        .collect();
+    let (blocks, _census) = squirrel_bench::experiments::ingest::build_workload(
+        n_blocks,
+        bs,
+        squirrel_bench::experiments::ingest::DEDUP_PCT,
+        squirrel_bench::experiments::ingest::ZERO_PCT,
+        21,
+    );
     let logical = (n_blocks * bs) as u64;
 
-    let time_runs = |f: &mut dyn FnMut()| {
-        // Best of 3: wall-clock floor, robust to scheduler noise.
-        (0..3)
-            .map(|_| {
-                let t = std::time::Instant::now();
-                f();
-                t.elapsed().as_secs_f64()
-            })
-            .fold(f64::INFINITY, f64::min)
-    };
-
-    let serial_secs = time_runs(&mut || {
-        let mut pool = ZPool::new(PoolConfig::new(bs, Codec::Gzip(6)));
-        pool.import_file("f", blocks.iter().cloned(), logical);
-        criterion::black_box(pool.stats());
-    });
-    let serial_rate = n_blocks as f64 / serial_secs;
-
-    let mut entries = Vec::new();
-    for threads in [1usize, 2, 8] {
-        let secs = time_runs(&mut || {
-            let mut pool = ZPool::new(PoolConfig::new(bs, Codec::Gzip(6)).with_threads(threads));
-            pool.import_file_parallel("f", &blocks, logical);
-            criterion::black_box(pool.stats());
-        });
-        let rate = n_blocks as f64 / secs;
-        entries.push(format!(
-            "    {{\"threads\": {threads}, \"blocks_per_sec\": {rate:.1}, \"speedup_vs_serial\": {:.2}}}",
-            rate / serial_rate
-        ));
-    }
-    let json = format!(
-        "{{\n  \"block_size\": {bs},\n  \"blocks\": {n_blocks},\n  \"codec\": \"gzip-6\",\n  \
-         \"serial_blocks_per_sec\": {serial_rate:.1},\n  \"parallel\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
-    );
-    // Bench binaries run from the package dir; the shared results/ tree
-    // lives at the workspace root.
-    let path = if std::path::Path::new("../../results").is_dir() {
-        "../../results/BENCH_ingest.json".to_string()
-    } else {
-        let _ = std::fs::create_dir_all("results");
-        "results/BENCH_ingest.json".to_string()
-    };
-    std::fs::write(&path, &json).expect("write BENCH_ingest.json");
-    println!("ingest bench written to {path}:\n{json}");
-
-    // Keep a criterion-visible number too.
     let mut g = c.benchmark_group("ingest");
     g.throughput(Throughput::Bytes((n_blocks * bs) as u64));
+    g.bench_function("import_file_serial", |b| {
+        b.iter(|| {
+            let mut pool = ZPool::new(PoolConfig::new(bs, Codec::Gzip(6)));
+            pool.import_file("f", blocks.iter().cloned(), logical);
+            pool
+        })
+    });
+    // One persistent worker pool across iterations, the production shape.
+    let workers = squirrel_hash::par::WorkerPool::new(8);
     g.bench_function("import_file_parallel_t8", |b| {
         b.iter(|| {
             let mut pool = ZPool::new(PoolConfig::new(bs, Codec::Gzip(6)).with_threads(8));
+            pool.set_worker_pool(workers.clone());
             pool.import_file_parallel("f", &blocks, logical);
             pool
         })

@@ -6,7 +6,7 @@
 //!
 //! commands:
 //!   table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13
-//!   fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm chaos budget all smoke
+//!   fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chaos budget all smoke
 //! ```
 //!
 //! Defaults (96 images at 1/512 volume) finish in minutes in release
@@ -14,8 +14,8 @@
 //! quantity is printed both as measured and as the paper-volume projection.
 
 use squirrel_bench::experiments::{
-    ablations, boottime, bootstorm, budget, chaosbench, extrapolate, network, storage, sweeps,
-    whatif,
+    ablations, boottime, bootstorm, budget, chaosbench, extrapolate, ingest, network, storage,
+    sweeps, whatif,
 };
 use squirrel_bench::ExperimentConfig;
 
@@ -23,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: squirrel-experiments <command> [--images N] [--scale S] [--seed S] [--out DIR] [--threads T]\n\
          commands: table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13\n\
-         \u{20}         fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm chaos budget all smoke"
+         \u{20}         fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chaos budget all smoke"
     );
     std::process::exit(2);
 }
@@ -121,6 +121,9 @@ fn main() {
         "bootstorm" => {
             bootstorm::run_bootstorm(&cfg, bootstorm::STORM_VMS, 3);
         }
+        "ingest" => {
+            ingest::run_ingest(&cfg, ingest::INGEST_BLOCKS, 3);
+        }
         "chaos" => {
             chaosbench::run_chaos(&cfg);
         }
@@ -128,6 +131,7 @@ fn main() {
             budget::run_budget(&cfg);
         }
         "all" => {
+            ingest::run_ingest(&cfg, ingest::INGEST_BLOCKS, 3);
             bootstorm::run_bootstorm(&cfg, bootstorm::STORM_VMS, 3);
             chaosbench::run_chaos(&cfg);
             budget::run_budget(&cfg);

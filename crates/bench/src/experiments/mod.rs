@@ -6,6 +6,7 @@ pub mod bootstorm;
 pub mod budget;
 pub mod chaosbench;
 pub mod extrapolate;
+pub mod ingest;
 pub mod network;
 pub mod storage;
 pub mod sweeps;

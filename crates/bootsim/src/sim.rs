@@ -102,6 +102,21 @@ impl BootSim {
         self.queue_adjust(solo)
     }
 
+    /// [`boot_concurrent_par`](Self::boot_concurrent_par) on a persistent
+    /// [`WorkerPool`](squirrel_hash::par::WorkerPool): identical reports,
+    /// but the trace replays reuse already-spawned workers — the boot-storm
+    /// loop calls this once per wave, so the spawn cost would otherwise
+    /// recur per wave.
+    pub fn boot_concurrent_on(
+        &self,
+        traces: &[BootTrace],
+        backend: &Backend,
+        workers: &squirrel_hash::par::WorkerPool,
+    ) -> Vec<BootReport> {
+        let solo = workers.parallel_map(traces, |_i, t| self.boot(t, backend));
+        self.queue_adjust(solo)
+    }
+
     /// Charge each boot the queueing delay of sharing the device with the
     /// others: half of everyone else's I/O time lands on each boot (the
     /// fair-share midpoint between no interference and full serialization).

@@ -68,6 +68,23 @@ impl Codec {
     }
 }
 
+/// Word-wise all-zero probe with an early exit at the first nonzero 64-byte
+/// group, so data blocks (the common case) bail after one cache line.
+#[inline]
+fn all_zero(data: &[u8]) -> bool {
+    let mut groups = data.chunks_exact(64);
+    for g in groups.by_ref() {
+        let mut acc = 0u64;
+        for w in g.chunks_exact(8) {
+            acc |= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        }
+        if acc != 0 {
+            return false;
+        }
+    }
+    groups.remainder().iter().all(|&b| b == 0)
+}
+
 /// Method tags for the 1-byte frame header.
 const TAG_RAW: u8 = 0;
 const TAG_ZERO: u8 = 1;
@@ -82,29 +99,77 @@ const TAG_ZLE: u8 = 5;
 /// be at least as large as the input, the block is stored raw. All-zero
 /// blocks collapse to a 1-byte frame regardless of codec (ZFS's zero-block
 /// elision).
+///
+/// One-shot convenience over [`Compressor`]; batch callers should build a
+/// `Compressor` once and reuse it so codec dispatch (and gzip's effort
+/// lookup) happens per batch, not per block.
 pub fn compress(codec: Codec, data: &[u8]) -> Vec<u8> {
-    if data.iter().all(|&b| b == 0) {
-        return vec![TAG_ZERO];
+    Compressor::new(codec).compress(data)
+}
+
+/// A codec with its dispatch resolved ahead of time.
+///
+/// The ingest hot path compresses thousands of blocks with one codec; a
+/// `Compressor` hoists the per-block `match` on [`Codec`] — including the
+/// gzip level → LZSS-effort translation — out of the loop. Output frames
+/// are byte-identical to [`compress`] with the same codec.
+#[derive(Clone, Copy, Debug)]
+pub struct Compressor {
+    plan: Plan,
+}
+
+/// Pre-resolved codec dispatch (gzip level already mapped to LZSS effort).
+#[derive(Clone, Copy, Debug)]
+enum Plan {
+    Off,
+    Gzip { effort: usize },
+    Lzjb,
+    Lz4,
+    Zle,
+}
+
+impl Compressor {
+    /// Resolve `codec` into a reusable compression plan.
+    pub fn new(codec: Codec) -> Self {
+        let plan = match codec {
+            Codec::Off => Plan::Off,
+            Codec::Gzip(level) => Plan::Gzip { effort: lzss::effort_for_level(level) },
+            Codec::Lzjb => Plan::Lzjb,
+            Codec::Lz4 => Plan::Lz4,
+            Codec::Zle => Plan::Zle,
+        };
+        Compressor { plan }
     }
-    let body = match codec {
-        Codec::Off => None,
-        Codec::Gzip(level) => Some((TAG_GZIP, gzip_like_compress(data, level))),
-        Codec::Lzjb => Some((TAG_LZJB, lzjb::compress(data))),
-        Codec::Lz4 => Some((TAG_LZ4, lz4::compress(data))),
-        Codec::Zle => Some((TAG_ZLE, zle::compress(data))),
-    };
-    match body {
-        Some((tag, body)) if body.len() < data.len() => {
-            let mut out = Vec::with_capacity(body.len() + 1);
-            out.push(tag);
-            out.extend_from_slice(&body);
-            out
+
+    /// Compress one block into a self-describing frame; identical framing
+    /// (zero elision, raw fallback) to the free [`compress`].
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        if all_zero(data) {
+            return vec![TAG_ZERO];
         }
-        _ => {
-            let mut out = Vec::with_capacity(data.len() + 1);
-            out.push(TAG_RAW);
-            out.extend_from_slice(data);
-            out
+        let body = match self.plan {
+            Plan::Off => None,
+            Plan::Gzip { effort } => Some((
+                TAG_GZIP,
+                huffman::huffman_compress(&lzss::compress(data, effort)),
+            )),
+            Plan::Lzjb => Some((TAG_LZJB, lzjb::compress(data))),
+            Plan::Lz4 => Some((TAG_LZ4, lz4::compress(data))),
+            Plan::Zle => Some((TAG_ZLE, zle::compress(data))),
+        };
+        match body {
+            Some((tag, body)) if body.len() < data.len() => {
+                let mut out = Vec::with_capacity(body.len() + 1);
+                out.push(tag);
+                out.extend_from_slice(&body);
+                out
+            }
+            _ => {
+                let mut out = Vec::with_capacity(data.len() + 1);
+                out.push(TAG_RAW);
+                out.extend_from_slice(data);
+                out
+            }
         }
     }
 }
@@ -124,12 +189,8 @@ pub fn decompress(frame: &[u8], expected_len: usize) -> Vec<u8> {
     }
 }
 
-/// LZSS tokens then Huffman-coded, like DEFLATE's two stages.
-fn gzip_like_compress(data: &[u8], level: u8) -> Vec<u8> {
-    let tokens = lzss::compress(data, lzss::effort_for_level(level));
-    huffman::huffman_compress(&tokens)
-}
-
+/// Inverse of the LZSS + Huffman pair (DEFLATE's two stages); the forward
+/// direction lives in [`Compressor::compress`].
 fn gzip_like_decompress(body: &[u8], expected_len: usize) -> Vec<u8> {
     let tokens = huffman::huffman_decompress(body);
     lzss::decompress(&tokens, expected_len)
@@ -275,6 +336,25 @@ mod tests {
         let small = ratio(1024);
         let large = ratio(65536);
         assert!(large > small, "large {large:.3} <= small {small:.3}");
+    }
+
+    #[test]
+    fn compressor_matches_free_function() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let blocks: Vec<Vec<u8>> = (0..8)
+            .map(|i| match i % 4 {
+                0 => vec![0u8; 2048],
+                1 => (0..2048).map(|_| rng.random()).collect(),
+                2 => (0..2048).map(|j| (j % 7) as u8).collect(),
+                _ => b"squirrel".iter().copied().cycle().take(2048).collect(),
+            })
+            .collect();
+        for codec in codecs() {
+            let c = Compressor::new(codec);
+            for b in &blocks {
+                assert_eq!(c.compress(b), compress(codec, b), "{codec:?}");
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@ use squirrel_cluster::{GlusterConfig, GlusterVolume, LinkKind, NetError, Network
 use squirrel_compress::Codec;
 use squirrel_dataset::{Corpus, ImageId};
 use squirrel_faults::{FaultPlan, FaultReport, TransferFault};
+use squirrel_hash::par::WorkerPool;
 use squirrel_obs::{Metrics, MetricsRegistry};
 use squirrel_qcow::{CorCache, VirtualDisk};
 use squirrel_zfs::{
@@ -542,6 +543,12 @@ pub struct Squirrel {
     /// orchestration code (never inside a parallel region), so one seed
     /// yields one schedule at any thread count.
     faults: Option<FaultPlan>,
+    /// One persistent worker pool shared by every parallel region: the
+    /// scVolume and all ccVolumes ingest through it, registration fans a
+    /// stream out to receivers on it, and boot storms serve reads and
+    /// replay boot timings on it. Workers spawn lazily on first use and
+    /// live for the system's lifetime.
+    workers: WorkerPool,
 }
 
 /// Adapter: expose a corpus image as a [`VirtualDisk`] for the registration
@@ -573,11 +580,13 @@ impl Squirrel {
         let bricks: Vec<NodeId> =
             (config.compute_nodes..config.compute_nodes + 4).collect();
         let gluster = GlusterVolume::new(GlusterConfig::default(), bricks);
+        let workers = WorkerPool::new(config.threads);
         let ccvol_cfg = Self::ccvol_pool_config(&config);
         let nodes = (0..config.compute_nodes)
             .map(|_| {
                 let mut ccvol = ZPool::new(ccvol_cfg);
                 ccvol.set_metrics(&ccvol_obs);
+                ccvol.set_worker_pool(workers.clone());
                 ComputeNode { ccvol, online: true, evicted: BTreeSet::new() }
             })
             .collect();
@@ -587,6 +596,7 @@ impl Squirrel {
             PoolConfig::new(config.block_size, config.codec).with_threads(config.threads),
         );
         scvol.set_metrics(&obs.with_label("pool", "scvol"));
+        scvol.set_worker_pool(workers.clone());
         Squirrel {
             config,
             corpus,
@@ -604,6 +614,7 @@ impl Squirrel {
             obs,
             ccvol_obs,
             faults: None,
+            workers,
         }
     }
 
@@ -737,6 +748,7 @@ impl Squirrel {
             // One prepared stream, N independent receivers: apply it to
             // every online ccVolume concurrently instead of N serial recv
             // replays.
+            let workers = self.workers.clone();
             let targets: Vec<&mut ZPool> = self
                 .nodes
                 .iter_mut()
@@ -744,7 +756,7 @@ impl Squirrel {
                 .map(|n| &mut n.ccvol)
                 .collect();
             let mut updated = 0;
-            for result in stream.apply_all(targets, self.config.threads) {
+            for result in stream.apply_all_on(targets, &workers) {
                 match result {
                     Ok(()) => updated += 1,
                     Err(RecvError::MissingBase(_)) => {
@@ -1166,7 +1178,7 @@ impl Squirrel {
         let nodes = &self.nodes;
         let corpus = &self.corpus;
         let raw: Vec<Result<(u64, String), SquirrelError>> =
-            squirrel_hash::par::parallel_map(&assignments, threads, |_i, &node| {
+            self.workers.parallel_map(&assignments, |_i, &node| {
                 let mut bytes = Vec::with_capacity(blocks.len() * bs as usize);
                 if let Some(cache) = caches.get(&node) {
                     for &b in &blocks {
@@ -1218,7 +1230,7 @@ impl Squirrel {
                 }
             };
             let traces = vec![paper_trace.clone(); vm_ids.len()];
-            let reports = self.sim.boot_concurrent_par(&traces, &backend, threads);
+            let reports = self.sim.boot_concurrent_on(&traces, &backend, &self.workers);
             for (&vm, report) in vm_ids.iter().zip(&reports) {
                 boot_seconds[vm] = report.total_seconds;
             }
@@ -1404,8 +1416,10 @@ impl Squirrel {
             .try_unicast(storage, node, wire)
             .map_err(SquirrelError::Net)?;
         let mut fresh = ZPool::new(Self::ccvol_pool_config(&self.config));
-        // The rebuilt pool records into the same shared ccVolume series.
+        // The rebuilt pool records into the same shared ccVolume series and
+        // reuses the system's persistent workers.
         fresh.set_metrics(&self.ccvol_obs);
+        fresh.set_worker_pool(self.workers.clone());
         fresh.recv(&stream).map_err(SquirrelError::Recv)?;
         self.nodes[idx].ccvol = fresh;
         // A full replication hoards everything again; the budget pass (if

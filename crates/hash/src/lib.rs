@@ -16,17 +16,30 @@ pub use sha256::{sha256, Sha256};
 
 /// Word-wise all-zero test, the fast path of ZFS-style zero-block elision.
 ///
-/// Reads the buffer as `u64` words (OR-accumulated in chunks so the
-/// optimizer can vectorize) with a byte-wise tail for lengths that are not
-/// a multiple of 8.
+/// Reads the buffer in 64-byte groups of `u64` words — OR-accumulated per
+/// group so the optimizer can vectorize, with an early exit at the first
+/// nonzero group, so data blocks (the common ingest case) bail out after
+/// one cache line instead of traversing the whole block. Byte-wise tail
+/// for lengths that are not a multiple of 8.
 #[inline]
 pub fn is_zero_block(data: &[u8]) -> bool {
-    let mut chunks = data.chunks_exact(8);
+    let mut groups = data.chunks_exact(64);
+    for g in groups.by_ref() {
+        let mut acc = 0u64;
+        for w in g.chunks_exact(8) {
+            acc |= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        }
+        if acc != 0 {
+            return false;
+        }
+    }
+    let tail = groups.remainder();
+    let mut words = tail.chunks_exact(8);
     let mut acc = 0u64;
-    for w in chunks.by_ref() {
+    for w in words.by_ref() {
         acc |= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
     }
-    acc == 0 && chunks.remainder().iter().all(|&b| b == 0)
+    acc == 0 && words.remainder().iter().all(|&b| b == 0)
 }
 
 /// Hash a batch of blocks across `threads` workers (0 = all cores),
@@ -51,6 +64,20 @@ impl ContentHash {
     #[inline]
     pub fn of(data: &[u8]) -> Self {
         ContentHash(sha256(data))
+    }
+
+    /// Fused zero-scan + hash: `None` for an all-zero block (which dedup
+    /// elides without hashing), otherwise the digest. The zero probe exits
+    /// at the first nonzero cache line, so a data block pays essentially
+    /// one memory traversal — the hash — instead of a full scan plus a
+    /// hash as with a standalone [`is_zero_block`] pre-pass.
+    #[inline]
+    pub fn of_nonzero(data: &[u8]) -> Option<Self> {
+        if is_zero_block(data) {
+            None
+        } else {
+            Some(Self::of(data))
+        }
     }
 
     /// First 128 bits of the digest, for compact in-memory table keys.
@@ -133,6 +160,18 @@ mod tests {
         buf[12] = 0;
         buf[0] = 1;
         assert!(!is_zero_block(&buf));
+    }
+
+    #[test]
+    fn of_nonzero_fuses_zero_probe_and_hash() {
+        assert_eq!(ContentHash::of_nonzero(&[0u8; 4096]), None);
+        assert_eq!(ContentHash::of_nonzero(&[]), None);
+        let mut buf = vec![0u8; 4096];
+        buf[4095] = 7;
+        assert_eq!(ContentHash::of_nonzero(&buf), Some(ContentHash::of(&buf)));
+        // Nonzero byte in the first group too (early-exit path).
+        buf[0] = 9;
+        assert_eq!(ContentHash::of_nonzero(&buf), Some(ContentHash::of(&buf)));
     }
 
     #[test]

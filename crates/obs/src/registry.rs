@@ -279,6 +279,22 @@ impl Metrics {
             name: name.to_string(),
             start: self.inner.is_some().then(Instant::now),
             fields: Vec::new(),
+            quiet: false,
+        }
+    }
+
+    /// Journal-quiet variant of [`span`](Self::span): wall time still lands
+    /// in [`MetricsRegistry::wall_times`], but no journal event is emitted
+    /// on drop. For hot-path stage timers (e.g. per-ingest prepare/commit)
+    /// whose per-call events would flood the journal and disturb the
+    /// workflow-level event sequence that tests pin.
+    pub fn timer(&self, name: &str) -> Span {
+        Span {
+            metrics: self.clone(),
+            name: name.to_string(),
+            start: self.inner.is_some().then(Instant::now),
+            fields: Vec::new(),
+            quiet: true,
         }
     }
 }
@@ -324,6 +340,8 @@ pub struct Span {
     name: String,
     start: Option<Instant>,
     fields: Vec<(String, FieldValue)>,
+    /// Journal-quiet ([`Metrics::timer`]): record wall time only.
+    quiet: bool,
 }
 
 impl Span {
@@ -346,6 +364,9 @@ impl Drop for Span {
             w.count += 1;
             w.total_nanos += nanos;
             w.max_nanos = w.max_nanos.max(nanos);
+        }
+        if self.quiet {
+            return;
         }
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
         let fields = std::mem::take(&mut self.fields);
@@ -434,6 +455,20 @@ mod tests {
         assert_eq!(wall.len(), 1);
         assert_eq!(wall[0].0, "register");
         assert_eq!(wall[0].1.count, 1);
+    }
+
+    #[test]
+    fn timer_records_wall_time_without_journal_event() {
+        let reg = MetricsRegistry::new();
+        let m = reg.handle();
+        drop(m.timer("ingest_commit"));
+        drop(m.timer("ingest_commit"));
+        let snap = reg.snapshot();
+        assert!(snap.events.is_empty(), "timers must stay out of the journal");
+        let wall = reg.wall_times();
+        assert_eq!(wall.len(), 1);
+        assert_eq!(wall[0].0, "ingest_commit");
+        assert_eq!(wall[0].1.count, 2);
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl DedupTable {
     /// physical offset are untouched. This is the primitive under both
     /// corruption injection and block repair. Returns `false` when the key
     /// is absent.
-    pub(crate) fn replace_payload(
+    pub fn replace_payload(
         &mut self,
         key: BlockKey,
         psize: u32,

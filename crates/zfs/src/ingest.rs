@@ -4,22 +4,39 @@
 //! scan, a SHA-256 digest, and (for new blocks) a compression pass — all
 //! CPU-bound and independent per block — with dedup-table and file-table
 //! updates that must stay serial. This module splits the two: a *prepare*
-//! phase fans the pure per-block work out over std scoped threads
-//! (`squirrel_hash::par`), and a *commit* phase applies the prepared plan
-//! in block order on the caller's thread.
+//! phase fans the pure per-block work out over the pool's persistent
+//! workers ([`squirrel_hash::par::WorkerPool`]), and a *commit* phase
+//! applies the prepared plan in block order on the caller's thread.
+//!
+//! Hot-path structure (each stage wall-timed under a journal-quiet
+//! `zpool_ingest_*` timer):
+//!
+//! 1. **prepare** (parallel, fused) — zero-scan + SHA-256 + DDT probe in
+//!    one pass per block. The zero probe early-exits at the first nonzero
+//!    cache line and the sharded DDT serves lock-free `&self` lookups, so
+//!    the whole per-block cost is essentially the hash.
+//! 2. **probe** (serial) — first-occurrence scan over the prepared keys,
+//!    fixing each batch-new key's representative block.
+//! 3. **compress** (parallel) — one compression per new unique key, with
+//!    codec dispatch hoisted out of the loop
+//!    ([`squirrel_compress::Compressor`]).
+//! 4. **commit** (serial, batched) — DDT inserts in first-occurrence order
+//!    draining the prepared frames with a cursor (no per-block map
+//!    lookups), pointer table pre-sized once, shards pre-reserved, and
+//!    meters updated with one `add(n)` per counter per batch.
 //!
 //! Determinism contract: for any `threads` setting (including the serial
 //! [`ZPool::import_file`] path), the resulting pool state is bit-identical —
 //! same DDT entries, same physical allocation order (the append-only
 //! allocator assigns offsets in first-occurrence order, which commit
 //! preserves), same file tables, same send-stream bytes. Compression runs
-//! exactly once per batch-new unique block, mirroring the serial path's
+//! exactly once per batch-new unique key, mirroring the serial path's
 //! lazy `add_ref` closure.
 
 use crate::ddt::{BlockKey, SharedPayload};
 use crate::pool::{FileTable, ZPool};
-use squirrel_compress::compress;
-use squirrel_hash::{is_zero_block, par, ContentHash, FnvHashMap, FnvHashSet};
+use squirrel_compress::Compressor;
+use squirrel_hash::{ContentHash, FnvHashSet};
 use std::sync::Arc;
 
 /// A prepared DDT payload: compressed size plus the frame itself (absent in
@@ -62,76 +79,99 @@ impl ZPool {
             assert_eq!(b.len(), cfg.block_size, "unaligned write");
         }
         // Replace the file first so any releases from the old incarnation
-        // land before the new-key scan reads the DDT.
+        // land before the fused prepare stage probes the DDT.
         self.create_file(name);
 
-        // Stage 1 (parallel, pure): zero-scan + hash every block.
-        let keys: Vec<Option<BlockKey>> = par::parallel_map(data, cfg.threads, |_j, b| {
-            if is_zero_block(b) {
-                None
-            } else {
-                Some(ContentHash::of(b).short())
-            }
-        });
+        // Stage 1 "prepare" (parallel, fused): zero-scan + hash + DDT probe
+        // in one pass per block on the persistent workers. The probe reads
+        // the pre-batch DDT through `&self` shard lookups; `known` records
+        // whether the key already had an entry before this batch.
+        let keys: Vec<Option<(BlockKey, bool)>> = {
+            let _t = self.meters.metrics.timer("zpool_ingest_prepare");
+            let ddt = self.ddt();
+            self.worker_pool().parallel_map(data, |_j, b| {
+                ContentHash::of_nonzero(b).map(|h| {
+                    let k = h.short();
+                    (k, ddt.get(&k).is_some())
+                })
+            })
+        };
 
-        // Stage 2 (serial): first-occurrence scan for keys new to the DDT.
-        // Scanning in block order fixes each new key's representative block
-        // and, later, its physical allocation slot.
-        let mut seen: FnvHashSet<BlockKey> = FnvHashSet::default();
+        // Stage 2 "probe" (serial): first-occurrence scan for keys new to
+        // the DDT. Scanning in block order fixes each new key's
+        // representative block and, later, its physical allocation slot.
         let mut new_unique: Vec<(BlockKey, usize)> = Vec::new();
-        for (j, key) in keys.iter().enumerate() {
-            if let Some(k) = *key {
-                if self.ddt().get(&k).is_none() && seen.insert(k) {
-                    new_unique.push((k, j));
+        {
+            let _t = self.meters.metrics.timer("zpool_ingest_probe");
+            let mut seen: FnvHashSet<BlockKey> = FnvHashSet::default();
+            for (j, key) in keys.iter().enumerate() {
+                if let Some((k, known)) = *key {
+                    if !known && seen.insert(k) {
+                        new_unique.push((k, j));
+                    }
                 }
             }
         }
 
-        // Stage 3 (parallel, pure): compress one representative per new
-        // unique key — exactly the work the serial path's lazy `add_ref`
-        // closure performs, once per key.
-        let prepared: Vec<(BlockKey, PreparedFrame)> =
-            par::parallel_map(&new_unique, cfg.threads, |_j, &(k, rep)| {
-                let frame = compress(cfg.codec, data[rep]);
+        // Stage 3 "compress" (parallel, pure): compress one representative
+        // per new unique key — exactly the work the serial path's lazy
+        // `add_ref` closure performs, once per key — with codec dispatch
+        // resolved once per batch instead of once per block.
+        let mut prepared: Vec<(BlockKey, PreparedFrame)> = {
+            let _t = self.meters.metrics.timer("zpool_ingest_compress");
+            let compressor = Compressor::new(cfg.codec);
+            self.worker_pool().parallel_map(&new_unique, |_j, &(k, rep)| {
+                let frame = compressor.compress(data[rep]);
                 let psize = frame.len() as u32;
                 (k, (psize, cfg.retain_data.then(|| frame.into())))
-            });
-        let mut frames: FnvHashMap<BlockKey, PreparedFrame> = prepared.into_iter().collect();
+            })
+        };
 
-        // Stage 4 (serial): commit in block order. DDT entries appear in
-        // first-occurrence order, so the append-only physical allocator
-        // reproduces the serial layout exactly. Metrics are recorded here —
-        // the per-worker results merged in commit order — so the counts are
-        // identical to a serial `write_block` replay at any thread count.
+        // Stage 4 "commit" (serial, batched): apply in block order. DDT
+        // entries appear in first-occurrence order, so the append-only
+        // physical allocator reproduces the serial layout exactly — and
+        // because `prepared` is *also* in first-occurrence order, commit
+        // drains it with a plain cursor instead of per-block map removals.
+        // Pointer table and DDT shards are pre-sized once from the scan;
+        // meters take one batched `add` per counter.
+        let _t = self.meters.metrics.timer("zpool_ingest_commit");
         let bs = cfg.block_size as u64;
-        let mut ptrs: Vec<Option<BlockKey>> = Vec::new();
-        let mut len = 0u64;
+        self.ddt_mut().reserve(prepared.len());
+        let mut ptrs: Vec<Option<BlockKey>> =
+            vec![None; idxs.last().map(|&i| i as usize + 1).unwrap_or(0)];
+        let mut next = 0usize;
+        let mut zeros = 0u64;
+        let mut misses = 0u64;
+        let mut compress_out = 0u64;
         for (j, key) in keys.iter().enumerate() {
-            let idx = idxs[j] as usize;
-            if ptrs.len() <= idx {
-                ptrs.resize(idx + 1, None);
-            }
-            self.meters.ingest_blocks.inc();
-            self.meters.ingest_bytes.add(bs);
-            if let Some(k) = *key {
-                let existed = self.ddt().get(&k).is_some();
-                self.ddt_mut()
-                    .add_ref(k, || frames.remove(&k).expect("frame prepared for new key"));
-                if existed {
-                    self.meters.ddt_hits.inc();
-                } else {
-                    self.meters.ddt_misses.inc();
-                    let psize = self.ddt().get(&k).expect("just added").psize as u64;
-                    self.meters.compress_in_bytes.add(bs);
-                    self.meters.compress_out_bytes.add(psize);
+            if let Some((k, _)) = *key {
+                let was_new = self.ddt_mut().add_ref(k, || {
+                    let (pk, (psize, payload)) = &mut prepared[next];
+                    debug_assert_eq!(*pk, k, "prepared drains in first-occurrence order");
+                    next += 1;
+                    (*psize, payload.take())
+                });
+                if was_new {
+                    misses += 1;
+                    let psize = prepared[next - 1].1 .0 as u64;
+                    compress_out += psize;
                     self.meters.compressed_block_bytes.observe(psize);
                 }
-                ptrs[idx] = Some(k);
+                ptrs[idxs[j] as usize] = Some(k);
             } else {
-                self.meters.zero_blocks.inc();
+                zeros += 1;
             }
-            len = len.max((idxs[j] + 1) * bs);
         }
+        debug_assert_eq!(next, prepared.len(), "every prepared frame committed");
+        let n = data.len() as u64;
+        self.meters.ingest_blocks.add(n);
+        self.meters.ingest_bytes.add(n * bs);
+        self.meters.zero_blocks.add(zeros);
+        self.meters.ddt_hits.add(n - zeros - misses);
+        self.meters.ddt_misses.add(misses);
+        self.meters.compress_in_bytes.add(misses * bs);
+        self.meters.compress_out_bytes.add(compress_out);
+        let mut len = idxs.last().map(|&i| (i + 1) * bs).unwrap_or(0);
         if let Some(l) = logical_len {
             len = l;
         }

@@ -6,7 +6,9 @@
 //! store, which this crate implements from scratch:
 //!
 //! * **Content addressing** — fixed-size blocks keyed by SHA-256 (like
-//!   `dedup=sha256`), with a refcounted dedup table ([`ddt`]).
+//!   `dedup=sha256`), with a refcounted dedup table sharded by hash prefix
+//!   for lock-free concurrent probes ([`sddt`]; the serial [`ddt`] is kept
+//!   as the differential-test reference).
 //! * **Inline compression** — every unique block is stored compressed with a
 //!   configurable codec (gzip-6 by default, like the paper's choice).
 //! * **Space accounting** ([`stats`]) — physical data, on-disk DDT, in-core
@@ -15,9 +17,11 @@
 //!   of the whole pool's file set and `zfs send -i`-style diff streams, the
 //!   propagation mechanism of Squirrel's registration workflow (Section 3).
 //! * **Staged parallel ingestion** ([`ingest`]) — whole-file imports split
-//!   into a pure prepare phase (zero-scan, hash, compress) that fans out
-//!   over std scoped threads and an in-order serial commit, bit-identical
-//!   to the serial write path at any thread count.
+//!   into pure prepare stages (fused zero-scan + hash + DDT probe, then
+//!   compression) that fan out over a persistent
+//!   [`WorkerPool`](squirrel_hash::par::WorkerPool) shared across calls
+//!   and pools, and a batched in-order serial commit — bit-identical to
+//!   the serial write path at any thread count.
 //! * **Zero-copy read path** ([`arc`], [`sharedarc`]) — payloads are shared
 //!   immutable `Arc<[u8]>` buffers ([`SharedPayload`]) decompressed at most
 //!   once per cache residency; warm reads are refcount bumps, and the
@@ -35,6 +39,7 @@ pub mod ingest;
 mod meter;
 pub mod pool;
 pub mod scrub;
+pub mod sddt;
 pub mod send;
 pub mod sharedarc;
 pub mod stats;
@@ -44,6 +49,7 @@ pub use config::{PoolConfig, PoolConfigBuilder};
 pub use ddt::{BlockKey, DdtEntry, DedupTable, SharedPayload};
 pub use pool::{BlockRef, ZPool};
 pub use scrub::ScrubReport;
+pub use sddt::ShardedDedupTable;
 pub use send::{DecodeError, RecvError, SendError, SendStream};
 pub use sharedarc::SharedArcCache;
 pub use stats::{QuotaExcess, SpaceStats};

@@ -9,6 +9,10 @@
 use squirrel_obs::{Counter, Histogram, Metrics};
 
 pub(crate) struct PoolMeters {
+    /// The attached handle itself, kept for stage timers
+    /// ([`Metrics::timer`]) — journal-quiet wall-clock spans of the ingest
+    /// pipeline stages.
+    pub(crate) metrics: Metrics,
     pub(crate) ingest_blocks: Counter,
     pub(crate) ingest_bytes: Counter,
     pub(crate) zero_blocks: Counter,
@@ -26,6 +30,7 @@ pub(crate) struct PoolMeters {
 impl PoolMeters {
     pub(crate) fn new(m: &Metrics) -> Self {
         PoolMeters {
+            metrics: m.clone(),
             ingest_blocks: m.counter("zpool_ingest_blocks_total"),
             ingest_bytes: m.counter("zpool_ingest_bytes_total"),
             zero_blocks: m.counter("zpool_zero_blocks_total"),

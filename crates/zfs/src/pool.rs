@@ -9,10 +9,12 @@
 //! blocks nothing else uses.
 
 use crate::config::PoolConfig;
-use crate::ddt::{BlockKey, DedupTable, SharedPayload};
+use crate::ddt::{BlockKey, SharedPayload};
 use crate::meter::PoolMeters;
+use crate::sddt::ShardedDedupTable;
 use crate::stats::SpaceStats;
 use squirrel_compress::{compress, decompress};
+use squirrel_hash::par::WorkerPool;
 use squirrel_hash::ContentHash;
 use squirrel_obs::Metrics;
 use std::collections::BTreeMap;
@@ -51,7 +53,7 @@ pub(crate) struct Snapshot {
 /// The deduplicating, compressing, snapshotting block store.
 pub struct ZPool {
     config: PoolConfig,
-    ddt: DedupTable,
+    ddt: ShardedDedupTable,
     files: BTreeMap<String, FileTable>,
     /// Snapshots in creation order.
     snapshots: Vec<Snapshot>,
@@ -60,18 +62,36 @@ pub struct ZPool {
     zero_block: SharedPayload,
     /// Interned observability handles; no-ops until [`ZPool::set_metrics`].
     pub(crate) meters: PoolMeters,
+    /// Persistent ingest workers, sized by `config.threads` and spawned
+    /// lazily on the first parallel stage. Shareable across pools via
+    /// [`ZPool::set_worker_pool`] so one `Squirrel` node runs all of its
+    /// cVolumes on a single worker set.
+    workers: WorkerPool,
 }
 
 impl ZPool {
     pub fn new(config: PoolConfig) -> Self {
         ZPool {
             config,
-            ddt: DedupTable::new(),
+            ddt: ShardedDedupTable::new(),
             files: BTreeMap::new(),
             snapshots: Vec::new(),
             zero_block: vec![0u8; config.block_size].into(),
             meters: PoolMeters::disabled(),
+            workers: WorkerPool::new(config.threads),
         }
+    }
+
+    /// Replace this pool's worker pool with a shared one (e.g. the owning
+    /// node's), so sibling pools reuse one set of persistent threads
+    /// instead of each lazily spawning their own.
+    pub fn set_worker_pool(&mut self, pool: WorkerPool) {
+        self.workers = pool;
+    }
+
+    /// The pool's persistent ingest workers.
+    pub fn worker_pool(&self) -> &WorkerPool {
+        &self.workers
     }
 
     /// Attach observability: every ingest/recv/scrub on this pool records
@@ -315,11 +335,11 @@ impl ZPool {
         &mut self.files
     }
 
-    pub(crate) fn ddt(&self) -> &DedupTable {
+    pub(crate) fn ddt(&self) -> &ShardedDedupTable {
         &self.ddt
     }
 
-    pub(crate) fn ddt_mut(&mut self) -> &mut DedupTable {
+    pub(crate) fn ddt_mut(&mut self) -> &mut ShardedDedupTable {
         &mut self.ddt
     }
 

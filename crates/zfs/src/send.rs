@@ -12,9 +12,10 @@
 use crate::ddt::{BlockKey, SharedPayload};
 use crate::pool::{FileTable, Snapshot, ZPool};
 use squirrel_compress::decompress;
+use squirrel_hash::par::WorkerPool;
 use squirrel_hash::ContentHash;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One block carried by a stream. The payload is the *same* shared buffer
 /// the sender's DDT entry holds — building a stream clones no block bytes —
@@ -377,6 +378,39 @@ impl SendStream {
                 .flat_map(|h| h.join().expect("recv worker panicked"))
                 .collect()
         })
+    }
+
+    /// [`apply_all`](Self::apply_all) on a persistent [`WorkerPool`]: the
+    /// same contiguous-chunk partitioning and per-pool serial `recv`, but
+    /// executed by already-spawned workers — the registration fan-out's
+    /// per-call thread-spawn cost disappears. Results come back in pool
+    /// order, identical to an in-order replay.
+    pub fn apply_all_on(
+        &self,
+        mut pools: Vec<&mut ZPool>,
+        workers: &WorkerPool,
+    ) -> Vec<Result<(), RecvError>> {
+        let n = workers.threads().min(pools.len().max(1));
+        if n <= 1 {
+            return pools.into_iter().map(|p| p.recv(self)).collect();
+        }
+        let chunk = pools.len().div_ceil(n);
+        // Each chunk sits behind its own mutex slot; worker `w` takes chunk
+        // `w` exactly once, so locks never contend.
+        type Slot<'a, 'b> = (Option<&'a mut [&'b mut ZPool]>, Vec<Result<(), RecvError>>);
+        let slots: Vec<Mutex<Slot<'_, '_>>> = pools
+            .chunks_mut(chunk)
+            .map(|part| Mutex::new((Some(part), Vec::new())))
+            .collect();
+        workers.run(slots.len(), |w| {
+            let mut slot = slots[w].lock().expect("recv slot poisoned");
+            let part = slot.0.take().expect("each chunk is taken once");
+            slot.1 = part.iter_mut().map(|p| p.recv(self)).collect();
+        });
+        slots
+            .into_iter()
+            .flat_map(|m| m.into_inner().expect("recv slot poisoned").1)
+            .collect()
     }
 }
 
@@ -1029,6 +1063,41 @@ mod tests {
         let mut dup = pool();
         dup.recv(&stream).expect("pre-seed");
         let results = stream.apply_all(vec![&mut good, &mut dup], 2);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(RecvError::DuplicateTip("s1".to_string())));
+    }
+
+    #[test]
+    fn apply_all_on_pool_matches_serial_recv() {
+        use squirrel_hash::par::WorkerPool;
+        let mut src = pool();
+        fill(&mut src, "cache-1", &[1, 2, 3, 2]);
+        src.snapshot("s1");
+        let stream = src.send_between(None, "s1").expect("send");
+        let mut reference = pool();
+        reference.recv(&stream).expect("recv");
+
+        for threads in [1, 2, 8] {
+            let workers = WorkerPool::new(threads);
+            let mut pools: Vec<ZPool> = (0..5).map(|_| pool()).collect();
+            let results = stream.apply_all_on(pools.iter_mut().collect(), &workers);
+            assert_eq!(results.len(), 5);
+            assert!(results.iter().all(|r| r.is_ok()), "threads={threads}");
+            for p in &pools {
+                assert_eq!(p.stats(), reference.stats());
+                assert!(p.check_refcounts());
+            }
+            // The pool is reusable: a second fan-out over fresh receivers.
+            let mut again: Vec<ZPool> = (0..3).map(|_| pool()).collect();
+            let results = stream.apply_all_on(again.iter_mut().collect(), &workers);
+            assert!(results.iter().all(|r| r.is_ok()));
+        }
+        // Errors surface per pool, in pool order.
+        let workers = WorkerPool::new(2);
+        let mut good = pool();
+        let mut dup = pool();
+        dup.recv(&stream).expect("pre-seed");
+        let results = stream.apply_all_on(vec![&mut good, &mut dup], &workers);
         assert!(results[0].is_ok());
         assert_eq!(results[1], Err(RecvError::DuplicateTip("s1".to_string())));
     }

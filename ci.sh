@@ -75,6 +75,20 @@ grep -q '"deterministic_across_threads": true' results/BENCH_budget.json
 grep -q '"generous_degraded_boot_rate": 0,' results/BENCH_budget.json
 grep -Eq '"starved_degraded_boot_rate": (0\.[0-9]*[1-9][0-9]*|1)' results/BENCH_budget.json
 
+echo "== distribution sweep smoke (release, pinned seed) =="
+rm -f results/BENCH_distribution.json
+cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \
+    distribution --images 8 --scale 8192 --seed 7 --threads 2 > /dev/null
+test -f results/BENCH_distribution.json
+# Peer-assisted and tree-multicast delivery must cut the storage-tier
+# uplink strictly below serial unicast once the fleet scales (1k and 10k
+# node points), and every policy must replay bit-identically at every
+# thread count of the sweep.
+grep -q '"peer_below_unicast_1k": true' results/BENCH_distribution.json
+grep -q '"peer_below_unicast_10k": true' results/BENCH_distribution.json
+grep -q '"multicast_below_unicast_1k": true' results/BENCH_distribution.json
+grep -q '"deterministic_across_threads": true' results/BENCH_distribution.json
+
 echo "== decode fuzz smoke (release, fixed seeds) =="
 cargo test -q --release -p squirrel-zfs decode_survives > /dev/null
 

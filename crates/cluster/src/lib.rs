@@ -11,5 +11,7 @@
 mod netsim;
 mod parallelfs;
 
-pub use netsim::{LinkKind, NetError, Network, NodeId, NodeRole, TrafficLedger};
+pub use netsim::{
+    LinkKind, NetError, Network, NodeId, NodeRole, TrafficLedger, TransferReport, TransferShape,
+};
 pub use parallelfs::{GlusterConfig, GlusterVolume};

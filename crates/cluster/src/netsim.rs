@@ -1,4 +1,5 @@
-//! Network model: nodes, links, unicast/multicast transfer accounting.
+//! Network model: nodes, links, and charged transfer shapes (unicast,
+//! flat/tree multicast, chain pipeline).
 
 use squirrel_obs::{Counter, Histogram, Metrics};
 
@@ -39,8 +40,11 @@ impl LinkKind {
     }
 }
 
-/// Errors from the fallible transfer APIs ([`Network::try_unicast`] and
-/// friends). The panicking variants treat these as caller bugs.
+/// Store-and-forward latency per relay hop (pipeline chains and tree
+/// multicast levels).
+const HOP_LATENCY_S: f64 = 0.002;
+
+/// Errors from the transfer APIs ([`Network::try_unicast`] and friends).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum NetError {
@@ -76,12 +80,70 @@ pub struct TrafficLedger {
     pub tx_bytes: u64,
 }
 
+/// The wire shape a transfer used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferShape {
+    /// Point-to-point.
+    Unicast,
+    /// Flat IP multicast: one transmission, every subscribed receiver's NIC
+    /// hears it.
+    Multicast,
+    /// k-ary distribution tree: receivers re-serve the payload to
+    /// downstream receivers, spreading transmit load off the source.
+    TreeMulticast { fanout: u32 },
+    /// LANTorrent-style chain: each receiver forwards to the next while
+    /// receiving.
+    Pipeline,
+}
+
+impl TransferShape {
+    /// Stable identifier for metric labels and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransferShape::Unicast => "unicast",
+            TransferShape::Multicast => "multicast",
+            TransferShape::TreeMulticast { .. } => "tree-multicast",
+            TransferShape::Pipeline => "pipeline",
+        }
+    }
+}
+
+/// What a completed transfer looked like on the wire. Returned by every
+/// transfer API so callers charge latency and per-link bytes identically
+/// regardless of shape.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub struct TransferReport {
+    /// Wall-clock seconds the transfer occupied.
+    pub seconds: f64,
+    /// The shape that carried it.
+    pub shape: TransferShape,
+    /// Payload size in bytes; every charged link carries the full payload
+    /// exactly once.
+    pub payload_bytes: u64,
+    /// Number of links charged.
+    pub links: u32,
+    /// Total bytes transmitted across all links (one transmission for flat
+    /// IP multicast; `payload_bytes * links` for the relayed shapes).
+    pub tx_bytes: u64,
+    /// Total bytes received across all links.
+    pub rx_bytes: u64,
+}
+
+impl TransferReport {
+    /// A transfer that moved nothing (empty receiver set).
+    fn noop(shape: TransferShape, payload_bytes: u64) -> Self {
+        TransferReport { seconds: 0.0, shape, payload_bytes, links: 0, tx_bytes: 0, rx_bytes: 0 }
+    }
+}
+
 /// Interned metric handles for the transfer paths.
 struct NetMeters {
     tx_bytes: Counter,
     rx_bytes: Counter,
     unicasts: Counter,
     multicasts: Counter,
+    tree_multicasts: Counter,
     pipelines: Counter,
     multicast_fanout: Histogram,
 }
@@ -93,6 +155,7 @@ impl NetMeters {
             rx_bytes: m.counter("net_rx_bytes_total"),
             unicasts: m.counter("net_unicast_total"),
             multicasts: m.counter("net_multicast_total"),
+            tree_multicasts: m.counter("net_tree_multicast_total"),
             pipelines: m.counter("net_pipeline_total"),
             multicast_fanout: m.histogram("net_multicast_fanout"),
         }
@@ -104,7 +167,8 @@ impl NetMeters {
 }
 
 /// The cluster network: a flat switch with per-node ledgers, supporting
-/// unicast and (for cache propagation) IP multicast.
+/// unicast, flat IP multicast, k-ary tree multicast and chain pipelining
+/// for cache propagation.
 pub struct Network {
     link: LinkKind,
     roles: Vec<NodeRole>,
@@ -207,15 +271,18 @@ impl Network {
         }
     }
 
-    /// Transfer `bytes` from `src` to `dst`; returns the transfer seconds.
-    /// Panics on a malformed transfer — see [`try_unicast`](Self::try_unicast).
-    pub fn unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64) -> f64 {
-        assert_ne!(src, dst, "self-transfer");
-        self.try_unicast(src, dst, bytes).expect("valid unicast")
+    /// Seconds one full-payload copy occupies the link.
+    fn unit_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.link.mbps() * 1e6)
     }
 
-    /// Fallible [`unicast`](Self::unicast).
-    pub fn try_unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64) -> Result<f64, NetError> {
+    /// Transfer `bytes` point-to-point from `src` to `dst`.
+    pub fn try_unicast(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<TransferReport, NetError> {
         if src == dst {
             return Err(NetError::SelfTransfer { node: src });
         }
@@ -227,24 +294,27 @@ impl Network {
         self.meters.unicasts.inc();
         self.meters.tx_bytes.add(bytes);
         self.meters.rx_bytes.add(bytes);
-        Ok(bytes as f64 / (self.link.mbps() * 1e6))
+        Ok(TransferReport {
+            seconds: self.unit_secs(bytes),
+            shape: TransferShape::Unicast,
+            payload_bytes: bytes,
+            links: 1,
+            tx_bytes: bytes,
+            rx_bytes: bytes,
+        })
     }
 
     /// IP-multicast `bytes` from `src` to `dsts`: the sender transmits once,
     /// every receiver's NIC receives the full payload (the mechanism the
-    /// paper assumes for snapshot-diff propagation, Section 3.2). Panics on
-    /// a malformed transfer — see [`try_multicast`](Self::try_multicast).
-    pub fn multicast(&mut self, src: NodeId, dsts: &[NodeId], bytes: u64) -> f64 {
-        self.try_multicast(src, dsts, bytes).expect("valid multicast")
-    }
-
-    /// Fallible [`multicast`](Self::multicast).
+    /// paper assumes for snapshot-diff propagation, Section 3.2). Fails
+    /// atomically — no ledger is charged unless every receiver is valid and
+    /// reachable.
     pub fn try_multicast(
         &mut self,
         src: NodeId,
         dsts: &[NodeId],
         bytes: u64,
-    ) -> Result<f64, NetError> {
+    ) -> Result<TransferReport, NetError> {
         self.check_node(src)?;
         for &d in dsts {
             if d == src {
@@ -261,28 +331,90 @@ impl Network {
         self.meters.tx_bytes.add(bytes);
         self.meters.rx_bytes.add(bytes * dsts.len() as u64);
         self.meters.multicast_fanout.observe(dsts.len() as u64);
-        Ok(bytes as f64 / (self.link.mbps() * 1e6))
+        Ok(TransferReport {
+            seconds: self.unit_secs(bytes),
+            shape: TransferShape::Multicast,
+            payload_bytes: bytes,
+            links: dsts.len() as u32,
+            tx_bytes: bytes,
+            rx_bytes: bytes * dsts.len() as u64,
+        })
+    }
+
+    /// Tree multicast: receivers (in order) form a complete `fanout`-ary
+    /// tree rooted at `src` — `dsts[0..k]` are fed by `src`, and receiver
+    /// `i >= k` is fed by `dsts[(i - k) / k]`. Each parent transmits one
+    /// full copy per child, so transmit load moves off the source after the
+    /// first level; levels serialize (a node forwards only after it holds
+    /// the payload) and within a level each parent serves its children
+    /// back-to-back. Fails atomically: every parent→child edge is validated
+    /// (unknown node, self-transfer, partition) before any ledger is
+    /// charged.
+    pub fn try_tree_multicast(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        bytes: u64,
+        fanout: u32,
+    ) -> Result<TransferReport, NetError> {
+        let k = fanout.max(1) as usize;
+        let shape = TransferShape::TreeMulticast { fanout: k as u32 };
+        if dsts.is_empty() {
+            return Ok(TransferReport::noop(shape, bytes));
+        }
+        self.check_node(src)?;
+        let parent = |i: usize| if i < k { src } else { dsts[(i - k) / k] };
+        for (i, &d) in dsts.iter().enumerate() {
+            if d == src || d == parent(i) {
+                return Err(NetError::SelfTransfer { node: d });
+            }
+            self.check_node(d)?;
+            self.check_reachable(parent(i), d)?;
+        }
+        for (i, &d) in dsts.iter().enumerate() {
+            self.ledgers[parent(i) as usize].tx_bytes += bytes;
+            self.ledgers[d as usize].rx_bytes += bytes;
+        }
+        let total = bytes * dsts.len() as u64;
+        self.meters.tree_multicasts.inc();
+        self.meters.tx_bytes.add(total);
+        self.meters.rx_bytes.add(total);
+        self.meters.multicast_fanout.observe(dsts.len() as u64);
+        // Level l holds at most k^l receivers; its duration is one payload
+        // time per child of the busiest parent, plus a hop latency.
+        let t1 = self.unit_secs(bytes);
+        let mut seconds = 0.0;
+        let mut remaining = dsts.len();
+        let mut level_cap = k;
+        while remaining > 0 {
+            let level = remaining.min(level_cap);
+            seconds += level.min(k) as f64 * t1 + HOP_LATENCY_S;
+            remaining -= level;
+            level_cap = level * k;
+        }
+        Ok(TransferReport {
+            seconds,
+            shape,
+            payload_bytes: bytes,
+            links: dsts.len() as u32,
+            tx_bytes: total,
+            rx_bytes: total,
+        })
     }
 
     /// LANTorrent-style pipelined transfer: the source sends once to the
     /// first receiver, each receiver forwards to the next while receiving.
     /// Every node transmits and receives at most one copy, and on a single
     /// switch the pipeline completes in roughly one transfer time plus a
-    /// per-hop latency. Returns the transfer seconds. Panics on a malformed
-    /// transfer — see [`try_pipeline`](Self::try_pipeline).
-    pub fn pipeline(&mut self, src: NodeId, dsts: &[NodeId], bytes: u64) -> f64 {
-        self.try_pipeline(src, dsts, bytes).expect("valid pipeline")
-    }
-
-    /// Fallible [`pipeline`](Self::pipeline).
+    /// per-hop latency. Fails atomically if any hop link is down.
     pub fn try_pipeline(
         &mut self,
         src: NodeId,
         dsts: &[NodeId],
         bytes: u64,
-    ) -> Result<f64, NetError> {
+    ) -> Result<TransferReport, NetError> {
         if dsts.is_empty() {
-            return Ok(0.0);
+            return Ok(TransferReport::noop(TransferShape::Pipeline, bytes));
         }
         self.check_node(src)?;
         let mut prev = src;
@@ -300,11 +432,18 @@ impl Network {
             self.ledgers[d as usize].rx_bytes += bytes;
             prev = d;
         }
+        let total = bytes * dsts.len() as u64;
         self.meters.pipelines.inc();
-        self.meters.tx_bytes.add(bytes * dsts.len() as u64);
-        self.meters.rx_bytes.add(bytes * dsts.len() as u64);
-        const HOP_LATENCY_S: f64 = 0.002;
-        Ok(bytes as f64 / (self.link.mbps() * 1e6) + HOP_LATENCY_S * dsts.len() as f64)
+        self.meters.tx_bytes.add(total);
+        self.meters.rx_bytes.add(total);
+        Ok(TransferReport {
+            seconds: self.unit_secs(bytes) + HOP_LATENCY_S * dsts.len() as f64,
+            shape: TransferShape::Pipeline,
+            payload_bytes: bytes,
+            links: dsts.len() as u32,
+            tx_bytes: total,
+            rx_bytes: total,
+        })
     }
 
     pub fn ledger(&self, node: NodeId) -> TrafficLedger {
@@ -314,6 +453,18 @@ impl Network {
     /// Sum of rx bytes over compute nodes — Figure 18's y-axis.
     pub fn compute_rx_total(&self) -> u64 {
         self.compute_nodes().map(|n| self.ledger(n).rx_bytes).sum()
+    }
+
+    /// Sum of tx bytes over compute nodes — bytes served peer-to-peer
+    /// rather than by the storage tier.
+    pub fn compute_tx_total(&self) -> u64 {
+        self.compute_nodes().map(|n| self.ledger(n).tx_bytes).sum()
+    }
+
+    /// Sum of tx bytes over storage nodes — the storage-tier uplink load a
+    /// distribution policy tries to minimise.
+    pub fn storage_tx_total(&self) -> u64 {
+        self.storage_nodes().map(|n| self.ledger(n).tx_bytes).sum()
     }
 
     /// Reset all ledgers (between experiment phases: registration traffic
@@ -341,28 +492,98 @@ mod tests {
     #[test]
     fn unicast_charges_both_ends() {
         let mut net = Network::new(LinkKind::GbE, 2, 1);
-        let secs = net.unicast(2, 0, 112_000_000);
+        let r = net.try_unicast(2, 0, 112_000_000).unwrap();
         assert_eq!(net.ledger(2).tx_bytes, 112_000_000);
         assert_eq!(net.ledger(0).rx_bytes, 112_000_000);
         assert_eq!(net.ledger(1), TrafficLedger::default());
-        assert!((secs - 1.0).abs() < 1e-9, "1 GbE moves 112 MB/s: {secs}");
+        assert!((r.seconds - 1.0).abs() < 1e-9, "1 GbE moves 112 MB/s: {}", r.seconds);
+        assert_eq!(r.shape, TransferShape::Unicast);
+        assert_eq!((r.links, r.payload_bytes), (1, 112_000_000));
+        assert_eq!((r.tx_bytes, r.rx_bytes), (112_000_000, 112_000_000));
+        assert_eq!(net.storage_tx_total(), 112_000_000);
+        assert_eq!(net.compute_tx_total(), 0);
     }
 
     #[test]
     fn multicast_sends_once_receives_everywhere() {
         let mut net = Network::new(LinkKind::GbE, 4, 1);
-        net.multicast(4, &[0, 1, 2, 3], 1000);
+        let r = net.try_multicast(4, &[0, 1, 2, 3], 1000).unwrap();
         assert_eq!(net.ledger(4).tx_bytes, 1000, "single transmission");
         for n in 0..4 {
             assert_eq!(net.ledger(n).rx_bytes, 1000);
         }
         assert_eq!(net.compute_rx_total(), 4000);
+        assert_eq!(r.shape, TransferShape::Multicast);
+        assert_eq!((r.links, r.tx_bytes, r.rx_bytes), (4, 1000, 4000));
+    }
+
+    #[test]
+    fn tree_multicast_moves_tx_off_the_source() {
+        let mut net = Network::new(LinkKind::GbE, 6, 1);
+        // fanout 2, receivers 0..6: src 6 feeds {0,1}; 0 feeds {2,3};
+        // 1 feeds {4,5}.
+        let r = net.try_tree_multicast(6, &[0, 1, 2, 3, 4, 5], 1000, 2).unwrap();
+        assert_eq!(net.ledger(6).tx_bytes, 2000, "source sends only fanout copies");
+        assert_eq!(net.ledger(0).tx_bytes, 2000);
+        assert_eq!(net.ledger(1).tx_bytes, 2000);
+        assert_eq!(net.ledger(2).tx_bytes, 0, "leaves only receive");
+        for n in 0..6 {
+            assert_eq!(net.ledger(n).rx_bytes, 1000, "every receiver gets one copy");
+        }
+        assert_eq!(r.shape, TransferShape::TreeMulticast { fanout: 2 });
+        assert_eq!((r.links, r.tx_bytes, r.rx_bytes), (6, 6000, 6000));
+        // Two full levels: 2 copies + hop each.
+        let t1 = 1000.0 / (LinkKind::GbE.mbps() * 1e6);
+        assert!((r.seconds - (4.0 * t1 + 2.0 * HOP_LATENCY_S)).abs() < 1e-12);
+        assert_eq!(net.storage_tx_total(), 2000);
+        assert_eq!(net.compute_tx_total(), 4000);
+    }
+
+    #[test]
+    fn tree_multicast_beats_serial_unicast_at_scale() {
+        let bytes = 10_000_000u64;
+        let n = 100u32;
+        let mut tree = Network::new(LinkKind::GbE, n, 1);
+        let dsts: Vec<NodeId> = (0..n).collect();
+        let rt = tree.try_tree_multicast(n, &dsts, bytes, 8).unwrap();
+        let mut uni = Network::new(LinkKind::GbE, n, 1);
+        let serial: f64 = dsts.iter().map(|&d| uni.try_unicast(n, d, bytes).unwrap().seconds).sum();
+        assert!(rt.seconds < serial / 2.0, "tree {} vs serial {serial}", rt.seconds);
+        // Identical receiver-side bytes, radically lower source load.
+        assert_eq!(tree.compute_rx_total(), uni.compute_rx_total());
+        assert!(tree.storage_tx_total() < uni.storage_tx_total());
+    }
+
+    #[test]
+    fn tree_multicast_fails_atomically_and_clamps_fanout() {
+        let mut net = Network::new(LinkKind::GbE, 4, 1);
+        net.partition(0, 2);
+        // fanout 2 over [0, 1, 2, 3]: src feeds {0, 1}, node 0 feeds
+        // {2, 3}, so the cut 0<->2 edge kills the whole transfer.
+        assert_eq!(
+            net.try_tree_multicast(4, &[0, 1, 2, 3], 10, 2),
+            Err(NetError::Partitioned { src: 0, dst: 2 })
+        );
+        assert_eq!(net.compute_rx_total(), 0, "atomic failure charges nothing");
+        assert_eq!(net.ledger(4), TrafficLedger::default());
+        // fanout 0 clamps to 1 (a chain) rather than dividing by zero.
+        let r = net.try_tree_multicast(4, &[1, 3], 10, 0).unwrap();
+        assert_eq!(r.shape, TransferShape::TreeMulticast { fanout: 1 });
+        assert_eq!(net.ledger(1).tx_bytes, 10, "chain relay");
+        // Empty receiver set is a no-op.
+        let r = net.try_tree_multicast(4, &[], 10, 4).unwrap();
+        assert_eq!((r.links, r.seconds), (0, 0.0));
+        // A receiver equal to the source is malformed.
+        assert_eq!(
+            net.try_tree_multicast(4, &[0, 4], 10, 4),
+            Err(NetError::SelfTransfer { node: 4 })
+        );
     }
 
     #[test]
     fn pipeline_spreads_tx_load() {
         let mut net = Network::new(LinkKind::GbE, 4, 1);
-        let t = net.pipeline(4, &[0, 1, 2, 3], 1_000_000);
+        let r = net.try_pipeline(4, &[0, 1, 2, 3], 1_000_000).unwrap();
         // Source transmits once; each intermediate node relays once.
         assert_eq!(net.ledger(4).tx_bytes, 1_000_000);
         assert_eq!(net.ledger(0).tx_bytes, 1_000_000);
@@ -372,13 +593,16 @@ mod tests {
         }
         // Completes in about one transfer time, not n transfer times.
         let single = 1_000_000.0 / (LinkKind::GbE.mbps() * 1e6);
-        assert!(t < 2.0 * single + 0.1, "{t} vs {single}");
+        assert!(r.seconds < 2.0 * single + 0.1, "{} vs {single}", r.seconds);
+        assert_eq!(r.shape, TransferShape::Pipeline);
+        assert_eq!((r.links, r.tx_bytes, r.rx_bytes), (4, 4_000_000, 4_000_000));
     }
 
     #[test]
     fn pipeline_empty_is_noop() {
         let mut net = Network::new(LinkKind::GbE, 1, 1);
-        assert_eq!(net.pipeline(1, &[], 100), 0.0);
+        let r = net.try_pipeline(1, &[], 100).unwrap();
+        assert_eq!((r.seconds, r.links), (0.0, 0));
         assert_eq!(net.compute_rx_total(), 0);
     }
 
@@ -386,21 +610,25 @@ mod tests {
     fn infiniband_is_faster() {
         let mut gbe = Network::new(LinkKind::GbE, 1, 1);
         let mut ib = Network::new(LinkKind::QdrInfiniband, 1, 1);
-        assert!(ib.unicast(1, 0, 1 << 30) < gbe.unicast(1, 0, 1 << 30));
+        let fast = ib.try_unicast(1, 0, 1 << 30).unwrap().seconds;
+        let slow = gbe.try_unicast(1, 0, 1 << 30).unwrap().seconds;
+        assert!(fast < slow);
     }
 
     #[test]
     fn reset_clears_ledgers() {
         let mut net = Network::new(LinkKind::GbE, 1, 1);
-        net.unicast(1, 0, 5);
+        net.try_unicast(1, 0, 5).unwrap();
         net.reset_ledgers();
         assert_eq!(net.compute_rx_total(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "self-transfer")]
-    fn self_unicast_panics() {
-        Network::new(LinkKind::GbE, 1, 1).unicast(0, 0, 1);
+    fn shape_names_are_stable() {
+        assert_eq!(TransferShape::Unicast.name(), "unicast");
+        assert_eq!(TransferShape::Multicast.name(), "multicast");
+        assert_eq!(TransferShape::TreeMulticast { fanout: 8 }.name(), "tree-multicast");
+        assert_eq!(TransferShape::Pipeline.name(), "pipeline");
     }
 
     #[test]
@@ -473,8 +701,8 @@ mod tests {
         let reg = squirrel_obs::MetricsRegistry::new();
         let mut net = Network::new(LinkKind::GbE, 4, 1);
         net.set_metrics(&reg.handle());
-        net.unicast(4, 0, 100);
-        net.multicast(4, &[0, 1, 2], 50);
+        net.try_unicast(4, 0, 100).unwrap();
+        net.try_multicast(4, &[0, 1, 2], 50).unwrap();
         let snap = reg.snapshot();
         assert_eq!(snap.counter("net_tx_bytes_total{link=\"gbe\"}"), Some(150));
         assert_eq!(snap.counter("net_rx_bytes_total{link=\"gbe\"}"), Some(250));
@@ -484,5 +712,17 @@ mod tests {
             .expect("fan-out histogram");
         assert_eq!(fanout.count, 1);
         assert_eq!(fanout.sum, 3);
+    }
+
+    #[test]
+    fn tree_multicast_records_metrics() {
+        let reg = squirrel_obs::MetricsRegistry::new();
+        let mut net = Network::new(LinkKind::GbE, 3, 1);
+        net.set_metrics(&reg.handle());
+        net.try_tree_multicast(3, &[0, 1, 2], 10, 2).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("net_tree_multicast_total{link=\"gbe\"}"), Some(1));
+        assert_eq!(snap.counter("net_tx_bytes_total{link=\"gbe\"}"), Some(30));
+        assert_eq!(snap.counter("net_rx_bytes_total{link=\"gbe\"}"), Some(30));
     }
 }

@@ -100,8 +100,8 @@ impl GlusterVolume {
         }
         let mut slowest = 0.0f64;
         for (brick, b) in serving {
-            let secs = net.try_unicast(brick, client, b)?;
-            slowest = slowest.max(secs);
+            let report = net.try_unicast(brick, client, b)?;
+            slowest = slowest.max(report.seconds);
         }
         Ok(slowest)
     }
@@ -125,7 +125,10 @@ impl GlusterVolume {
                 continue;
             }
             for brick in self.stripe_bricks(s as u32).collect::<Vec<_>>() {
-                let secs = net.unicast(client, brick, b);
+                let secs = net
+                    .try_unicast(client, brick, b)
+                    .expect("write replicas are known and reachable")
+                    .seconds;
                 slowest = slowest.max(secs);
             }
         }

@@ -9,6 +9,7 @@
 //! repair pass runs. Nothing in the driver consults wall clocks or ambient
 //! randomness; the seed is the only source of nondeterminism.
 
+use crate::dist::DistributionPolicy;
 use crate::system::{HoardBudget, Squirrel, SquirrelConfig};
 use squirrel_cluster::NodeId;
 use squirrel_dataset::{Corpus, CorpusConfig};
@@ -39,6 +40,9 @@ pub struct ChaosConfig {
     /// every registration and once more after the final repair, so the soak
     /// converges *under* budget pressure, not just under faults.
     pub budget: HoardBudget,
+    /// How registration diffs and cache restores travel — every policy must
+    /// survive the same chaos and converge to the same replicated state.
+    pub distribution: DistributionPolicy,
 }
 
 impl Default for ChaosConfig {
@@ -52,6 +56,7 @@ impl Default for ChaosConfig {
             storm_vms: 8,
             faults: FaultConfig::chaos(),
             budget: HoardBudget::unlimited(),
+            distribution: DistributionPolicy::Unicast,
         }
     }
 }
@@ -116,6 +121,7 @@ pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
             block_size: 16 * 1024,
             threads: cfg.threads,
             hoard_budget: cfg.budget,
+            distribution: cfg.distribution,
             ..Default::default()
         },
         corpus,
@@ -370,6 +376,31 @@ mod tests {
         assert!(reference.budget_evictions > 0);
         for threads in [2, 8] {
             assert_eq!(at(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn peer_assisted_soak_converges_and_is_thread_invariant() {
+        let cfg = |threads| ChaosConfig {
+            threads,
+            distribution: DistributionPolicy::PeerAssisted,
+            ..tiny()
+        };
+        let reference = chaos_soak(&cfg(1));
+        assert!(reference.converged, "{reference:?}");
+        assert!(reference.scrub_clean, "{reference:?}");
+        assert_eq!(reference.registrations, 5);
+        for threads in [2, 8] {
+            assert_eq!(chaos_soak(&cfg(threads)), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_distribution_policy_survives_the_soak() {
+        for policy in DistributionPolicy::standard_set() {
+            let r = chaos_soak(&ChaosConfig { distribution: policy, ..tiny() });
+            assert!(r.converged, "{}: {r:?}", policy.name());
+            assert!(r.scrub_clean, "{}: {r:?}", policy.name());
         }
     }
 

@@ -38,10 +38,12 @@
 //!   degraded boots that fall back to shared storage.
 
 pub mod chaos;
+mod dist;
 mod system;
 mod trace;
 
 pub use chaos::{chaos_soak, ChaosConfig, ChaosReport};
+pub use dist::{DistributionPolicy, TransferLeg, TransferPlan};
 pub use squirrel_faults::{FaultConfig, FaultPlan, FaultReport};
 pub use system::{
     BootOutcome, BootStormReport, BootVerification, BudgetReport, EvictReport, GcReport,

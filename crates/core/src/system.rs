@@ -1,5 +1,6 @@
 //! The Squirrel system: scVolume, ccVolumes, and the paper's workflows.
 
+use crate::dist::{DistributionPolicy, TransferLeg, TransferPlan};
 use crate::trace::paper_scale_trace;
 use squirrel_bootsim::{Backend, BootReport, BootSim, DedupVolumeParams};
 use squirrel_cluster::{GlusterConfig, GlusterVolume, LinkKind, NetError, Network, NodeId};
@@ -81,6 +82,10 @@ pub struct SquirrelConfig {
     /// Per-node hoard budget (disk / DDT memory); unlimited by default.
     /// Enforced by [`Squirrel::enforce_hoard_budgets`].
     pub hoard_budget: HoardBudget,
+    /// How hoard bytes travel to compute nodes (registration diffs, cache
+    /// restores, rejoin catch-ups). Point-to-point unicast by default; see
+    /// [`DistributionPolicy`].
+    pub distribution: DistributionPolicy,
 }
 
 impl Default for SquirrelConfig {
@@ -95,6 +100,7 @@ impl Default for SquirrelConfig {
             threads: 0,
             metrics: true,
             hoard_budget: HoardBudget::unlimited(),
+            distribution: DistributionPolicy::Unicast,
         }
     }
 }
@@ -156,6 +162,13 @@ impl SquirrelConfigBuilder {
     /// Per-node hoard budget; [`HoardBudget::unlimited`] by default.
     pub fn hoard_budget(mut self, budget: HoardBudget) -> Self {
         self.config.hoard_budget = budget;
+        self
+    }
+
+    /// Distribution policy for hoard transfers;
+    /// [`DistributionPolicy::Unicast`] by default.
+    pub fn distribution(mut self, policy: DistributionPolicy) -> Self {
+        self.config.distribution = policy;
         self
     }
 
@@ -246,16 +259,22 @@ impl From<NetError> for SquirrelError {
 }
 
 /// Outcome of a registration (paper Figure 6).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RegisterReport {
     pub image: ImageId,
     /// Bytes the copy-on-read boot captured (the raw cache size).
     pub cache_bytes: u64,
-    /// Snapshot-diff wire size multicast to the compute nodes.
+    /// Snapshot-diff wire size distributed to the compute nodes.
     pub diff_wire_bytes: u64,
     /// Compute nodes whose ccVolume received the diff.
     pub nodes_updated: u32,
-    /// End-to-end registration seconds (first boot + snapshot + multicast).
+    /// Online compute nodes that did *not* end up with the diff: cut off
+    /// from every source, delivery abandoned under faults, or the stream
+    /// was rejected because the node lags (missing base snapshot or
+    /// budget-evicted blocks). They catch up via the repair workflow.
+    pub nodes_lagging: u32,
+    /// End-to-end registration seconds (first boot + snapshot + transfer
+    /// under the configured [`DistributionPolicy`]).
     pub seconds: f64,
     /// Snapshot tag created on the scVolume.
     pub snapshot_tag: String,
@@ -446,6 +465,9 @@ pub struct RehoardReport {
     pub wire_bytes: u64,
     /// Cache blocks re-imported (holes included).
     pub blocks: u64,
+    /// The warm peer that served the bytes, or `None` when the scVolume
+    /// did (non-peer policies, or no peer qualified).
+    pub peer: Option<NodeId>,
 }
 
 /// Outcome of a scrub-and-repair pass over one cVolume
@@ -511,6 +533,52 @@ struct ComputeNode {
 struct Registration {
     snapshot_tag: String,
     day: u64,
+}
+
+/// Outcome tally of one stream fan-out (see [`Squirrel::deliver_stream`]):
+/// the numbers every delivery shape must report identically.
+#[derive(Clone, Copy, Debug, Default)]
+struct DeliveryStats {
+    /// Receivers whose ccVolume applied the stream.
+    updated: u32,
+    /// Online receivers that did not (unreachable, abandoned, or lagging).
+    lagging: u32,
+    /// Simulated wall-clock seconds the whole fan-out took.
+    seconds: f64,
+    /// Bytes the storage tier transmitted (ledger delta).
+    storage_bytes: u64,
+    /// Bytes warm compute peers transmitted on its behalf (ledger delta).
+    peer_bytes: u64,
+    /// Receivers served by a peer (peer-assisted policy only).
+    peer_hits: u64,
+    /// Receivers the storage tier had to serve despite the peer-assisted
+    /// policy (no peer qualified yet).
+    peer_misses: u64,
+}
+
+/// How one receiver's `recv` outcome is treated — shared by the faulty and
+/// fault-free delivery paths so their classifications cannot drift.
+enum RecvDisposition {
+    /// Stream applied (or an earlier duplicate already had).
+    Delivered,
+    /// The receiver lags: its base snapshot is missing (it slept through
+    /// earlier registrations) or budget-evicted blocks the diff counts on
+    /// are gone. Retrying the same stream cannot help; the rejoin/repair
+    /// workflows own the catch-up.
+    Lagging,
+    /// Transient rejection (corrupt payload, unresolvable pointer): worth
+    /// a bounded retry under a fault plan, fatal on the clean path.
+    Retryable(RecvError),
+}
+
+fn classify_recv(result: Result<(), RecvError>) -> RecvDisposition {
+    match result {
+        Ok(()) | Err(RecvError::DuplicateTip(_)) => RecvDisposition::Delivered,
+        Err(RecvError::MissingBase(_)) | Err(RecvError::MissingBlock(_)) => {
+            RecvDisposition::Lagging
+        }
+        Err(e) => RecvDisposition::Retryable(e),
+    }
 }
 
 /// The system: one scVolume, `compute_nodes` ccVolumes, a parallel FS for
@@ -726,58 +794,17 @@ impl Squirrel {
         self.scvol.snapshot(&tag);
         self.snapshot_days.insert(tag.clone(), self.day);
 
-        // 4. Multicast the incremental diff to all online compute nodes.
-        //    With a fault plan armed, delivery instead goes per node through
-        //    the lossy path (retry + deterministic backoff).
+        // 4. Distribute the incremental diff to all online compute nodes
+        //    under the configured DistributionPolicy. With a fault plan
+        //    armed, delivery goes per node through the lossy path (retry +
+        //    deterministic backoff); either way the one executor charges
+        //    the ledgers and dist counters.
         let stream = self.scvol.send_latest().map_err(SquirrelError::Send)?;
         let wire = stream.wire_bytes();
         let online: Vec<NodeId> = (0..self.nodes.len() as u32)
             .filter(|&n| self.nodes[n as usize].online)
             .collect();
-        let mut transfer_secs = 0.0;
-        let updated = if let Some(mut plan) = self.faults.take() {
-            let (updated, secs) = self.deliver_with_faults(&mut plan, &stream, &online);
-            self.faults = Some(plan);
-            transfer_secs = secs;
-            updated
-        } else {
-            if !online.is_empty() {
-                let src = self.config.compute_nodes; // first storage node
-                transfer_secs = self.net.multicast(src, &online, wire);
-            }
-            // One prepared stream, N independent receivers: apply it to
-            // every online ccVolume concurrently instead of N serial recv
-            // replays.
-            let workers = self.workers.clone();
-            let targets: Vec<&mut ZPool> = self
-                .nodes
-                .iter_mut()
-                .filter(|n| n.online)
-                .map(|n| &mut n.ccvol)
-                .collect();
-            let mut updated = 0;
-            for result in stream.apply_all_on(targets, &workers) {
-                match result {
-                    Ok(()) => updated += 1,
-                    Err(RecvError::MissingBase(_)) => {
-                        // Shouldn't happen for online nodes; they sync on
-                        // rejoin.
-                    }
-                    Err(RecvError::MissingBlock(_)) => {
-                        // A budget eviction purged blocks this incremental
-                        // diff expects the receiver to still hold. The node
-                        // stays lagging; repair_replication's full stream
-                        // catches it up.
-                    }
-                    // A fresh tag can't be a duplicate, and a stream built
-                    // straight off the scVolume resolves every block — but
-                    // an injected-corrupt scVolume can produce a rejected
-                    // stream, so surface anything else instead of asserting.
-                    Err(e) => return Err(SquirrelError::Recv(e)),
-                }
-            }
-            updated
-        };
+        let delivery = self.deliver_stream(&stream, &online)?;
 
         // First boot takes a normal boot's time (paper: ~20 s), snapshot
         // creation is cheap, multicast as computed.
@@ -807,16 +834,260 @@ impl Squirrel {
         self.obs.set_gauge("squirrel_scvol_ddt_mem_bytes", sc.ddt_memory_bytes);
         span.field("cache_bytes", cache_bytes);
         span.field("wire_bytes", wire);
-        span.field("nodes_updated", u64::from(updated));
+        span.field("nodes_updated", u64::from(delivery.updated));
+        span.field("nodes_lagging", u64::from(delivery.lagging));
         span.field("snapshot_tag", tag.as_str());
 
         Ok(RegisterReport {
             image,
             cache_bytes,
             diff_wire_bytes: wire,
-            nodes_updated: updated,
-            seconds: first_boot + 1.0 + transfer_secs,
+            nodes_updated: delivery.updated,
+            nodes_lagging: delivery.lagging,
+            seconds: first_boot + 1.0 + delivery.seconds,
             snapshot_tag: tag,
+        })
+    }
+
+    /// Resolve the configured [`DistributionPolicy`] into a deterministic
+    /// [`TransferPlan`] for fanning one payload out to `targets`: which
+    /// link carries each copy, in which parallel round, and which
+    /// receivers have no usable source at all (they stay lagging).
+    /// Partitions are respected through [`Network::is_reachable`]. Only
+    /// consulted from serial orchestration code, so one configuration
+    /// yields one plan at any thread count.
+    pub fn plan_fanout(&self, targets: &[NodeId], payload_bytes: u64) -> TransferPlan {
+        let root = self.config.compute_nodes; // first storage node
+        let policy = self.config.distribution;
+        let mut plan = TransferPlan::new(policy, root, payload_bytes);
+        match policy {
+            DistributionPolicy::Unicast => {
+                // Serial storage uplink: one leg per receiver, one round
+                // each — the cost model the paper's Section 3.2 worries
+                // about at fleet scale.
+                let mut round = 0u32;
+                for &t in targets {
+                    if self.net.is_reachable(root, t) {
+                        plan.legs.push(TransferLeg { src: root, dst: t, round, from_peer: false });
+                        round += 1;
+                    } else {
+                        plan.unreachable.push(t);
+                    }
+                }
+            }
+            DistributionPolicy::Multicast { .. } | DistributionPolicy::Pipeline => {
+                // Group shapes ride one charged network call over every
+                // receiver the storage tier can reach.
+                for &t in targets {
+                    if self.net.is_reachable(root, t) {
+                        plan.group.push(t);
+                    } else {
+                        plan.unreachable.push(t);
+                    }
+                }
+            }
+            DistributionPolicy::PeerAssisted => self.plan_peer_rounds(targets, &mut plan),
+        }
+        plan
+    }
+
+    /// Doubling rounds for the peer-assisted shape: the storage tier seeds
+    /// the first copy; every delivered receiver becomes a donor and serves
+    /// its nearest pending receiver in later rounds, so capacity doubles
+    /// per round. The storage tier steps back in (one receiver per round)
+    /// only for receivers partitioned from every donor.
+    fn plan_peer_rounds(&self, targets: &[NodeId], plan: &mut TransferPlan) {
+        let root = plan.root;
+        let mut donors: Vec<NodeId> = Vec::new();
+        let mut pending: Vec<NodeId> = targets.to_vec();
+        let mut round = 0u32;
+        while !pending.is_empty() {
+            let mut busy: BTreeSet<NodeId> = BTreeSet::new();
+            let mut root_used = false;
+            let mut served: Vec<NodeId> = Vec::new();
+            let mut waiting: Vec<NodeId> = Vec::new();
+            for &t in &pending {
+                let donor = donors
+                    .iter()
+                    .copied()
+                    .filter(|&d| !busy.contains(&d) && self.net.is_reachable(d, t))
+                    .min_by_key(|&d| (d.abs_diff(t), d));
+                if let Some(d) = donor {
+                    busy.insert(d);
+                    plan.legs.push(TransferLeg { src: d, dst: t, round, from_peer: true });
+                    served.push(t);
+                } else if donors.iter().any(|&d| self.net.is_reachable(d, t)) {
+                    // Every donor that could serve it is busy this round.
+                    waiting.push(t);
+                } else if self.net.is_reachable(root, t) {
+                    if root_used {
+                        waiting.push(t);
+                    } else {
+                        root_used = true;
+                        plan.legs
+                            .push(TransferLeg { src: root, dst: t, round, from_peer: false });
+                        served.push(t);
+                    }
+                } else if targets.iter().any(|&o| o != t && self.net.is_reachable(o, t)) {
+                    // A future donor might still reach it.
+                    waiting.push(t);
+                } else {
+                    plan.unreachable.push(t);
+                }
+            }
+            if served.is_empty() {
+                // No source can make progress; whatever is left stays
+                // lagging until links heal.
+                plan.unreachable.append(&mut waiting);
+                break;
+            }
+            donors.extend(served);
+            pending = waiting;
+            round += 1;
+        }
+    }
+
+    /// The one fan-out executor behind [`Self::register`]: resolve the
+    /// configured policy into a [`TransferPlan`], charge the network per
+    /// shape (or run the lossy per-node path when a fault plan is armed),
+    /// apply the stream to every receiver that got a copy, and record the
+    /// `squirrel_dist_*` counters — identically for every shape.
+    fn deliver_stream(
+        &mut self,
+        stream: &SendStream,
+        online: &[NodeId],
+    ) -> Result<DeliveryStats, SquirrelError> {
+        let storage_tx0 = self.net.storage_tx_total();
+        let compute_tx0 = self.net.compute_tx_total();
+        let mut stats = if let Some(mut plan) = self.faults.take() {
+            let stats = self.deliver_with_faults(&mut plan, stream, online);
+            self.faults = Some(plan);
+            stats
+        } else {
+            self.deliver_clean(stream, online)?
+        };
+        // Byte attribution comes from the ledgers themselves, so every
+        // shape (and the fault path's retries and duplicates) is counted
+        // by what actually crossed each link.
+        stats.storage_bytes = self.net.storage_tx_total() - storage_tx0;
+        stats.peer_bytes = self.net.compute_tx_total() - compute_tx0;
+        self.record_dist(&stats);
+        Ok(stats)
+    }
+
+    /// Record the distribution counters for one completed fan-out or
+    /// restore transfer. Same series regardless of shape or fault state.
+    fn record_dist(&self, stats: &DeliveryStats) {
+        self.obs.add_with(
+            "squirrel_dist_transfers_total",
+            &[("policy", self.config.distribution.name())],
+            1,
+        );
+        self.obs.add("squirrel_dist_storage_bytes_total", stats.storage_bytes);
+        self.obs.add("squirrel_dist_peer_bytes_total", stats.peer_bytes);
+        self.obs.add("squirrel_dist_peer_hits_total", stats.peer_hits);
+        self.obs.add("squirrel_dist_peer_misses_total", stats.peer_misses);
+        self.obs
+            .observe("squirrel_dist_transfer_seconds_ms", (stats.seconds * 1000.0).round() as u64);
+    }
+
+    /// Fault-free delivery: charge the plan's group call or legs, then
+    /// apply the one prepared stream to every receiver that got a copy
+    /// concurrently (N independent receivers, bit-identical at any thread
+    /// count).
+    fn deliver_clean(
+        &mut self,
+        stream: &SendStream,
+        online: &[NodeId],
+    ) -> Result<DeliveryStats, SquirrelError> {
+        let wire = stream.wire_bytes();
+        let plan = self.plan_fanout(online, wire);
+        let mut seconds = 0.0f64;
+        let mut peer_hits = 0u64;
+        let mut peer_misses = 0u64;
+        let mut delivered: BTreeSet<NodeId> = BTreeSet::new();
+
+        // Group shapes ride one charged network call. A cut compute-to-
+        // compute relay edge fails the group atomically; delivery then
+        // degrades to serial unicast from the storage tier rather than
+        // failing the registration.
+        let mut legs = plan.legs.clone();
+        if !plan.group.is_empty() {
+            let result = match plan.policy {
+                DistributionPolicy::Multicast { fanout } => {
+                    self.net.try_tree_multicast(plan.root, &plan.group, wire, fanout)
+                }
+                _ => self.net.try_pipeline(plan.root, &plan.group, wire),
+            };
+            match result {
+                Ok(r) => {
+                    seconds += r.seconds;
+                    delivered.extend(plan.group.iter().copied());
+                }
+                Err(_) => {
+                    legs = plan
+                        .group
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &dst)| TransferLeg {
+                            src: plan.root,
+                            dst,
+                            round: i as u32,
+                            from_peer: false,
+                        })
+                        .collect();
+                }
+            }
+        }
+
+        // Leg shapes: legs sharing a round overlap in time, rounds
+        // serialize — so peer-assisted fan-out costs one payload time per
+        // doubling round while serial unicast costs one per receiver.
+        let mut round_secs: BTreeMap<u32, f64> = BTreeMap::new();
+        for leg in &legs {
+            // The plan was resolved against this same network state, so a
+            // failing leg means a malformed plan; the receiver simply
+            // stays lagging.
+            if let Ok(r) = self.net.try_unicast(leg.src, leg.dst, wire) {
+                delivered.insert(leg.dst);
+                if leg.from_peer {
+                    peer_hits += 1;
+                } else if plan.policy == DistributionPolicy::PeerAssisted {
+                    peer_misses += 1;
+                }
+                let slot = round_secs.entry(leg.round).or_insert(0.0);
+                *slot = slot.max(r.seconds);
+            }
+        }
+        seconds += round_secs.values().sum::<f64>();
+
+        let workers = self.workers.clone();
+        let targets: Vec<&mut ZPool> = self
+            .nodes
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| delivered.contains(&(*i as NodeId)))
+            .map(|(_, n)| &mut n.ccvol)
+            .collect();
+        let mut updated = 0u32;
+        for result in stream.apply_all_on(targets, &workers) {
+            match classify_recv(result) {
+                RecvDisposition::Delivered => updated += 1,
+                RecvDisposition::Lagging => {}
+                // A stream built straight off the scVolume resolves every
+                // block — but an injected-corrupt scVolume can produce a
+                // rejected stream, so surface anything else instead of
+                // asserting.
+                RecvDisposition::Retryable(e) => return Err(SquirrelError::Recv(e)),
+            }
+        }
+        Ok(DeliveryStats {
+            updated,
+            lagging: online.len() as u32 - updated,
+            seconds,
+            peer_hits,
+            peer_misses,
+            ..DeliveryStats::default()
         })
     }
 
@@ -825,21 +1096,37 @@ impl Squirrel {
     /// deterministic exponential backoff (charged in simulated seconds).
     /// Every fault decision is drawn here, serially — never inside a worker
     /// thread — so a plan seed yields one schedule at any thread count.
-    /// Nodes whose delivery is abandoned stay lagging; the repair workflow
-    /// ([`Self::repair_replication`]) catches them up. Returns
-    /// `(nodes_updated, transfer_seconds)`.
+    /// Under [`DistributionPolicy::PeerAssisted`] a receiver that took the
+    /// stream earlier in this call donates to later receivers (nearest
+    /// reachable donor; the storage tier is the fallback). Nodes whose
+    /// delivery is abandoned stay lagging; the repair workflow
+    /// ([`Self::repair_replication`]) catches them up.
     fn deliver_with_faults(
         &mut self,
         plan: &mut FaultPlan,
         stream: &SendStream,
         online: &[NodeId],
-    ) -> (u32, f64) {
-        let src = self.config.compute_nodes; // first storage node
+    ) -> DeliveryStats {
+        let storage_src = self.config.compute_nodes; // first storage node
+        let peer_policy = self.config.distribution == DistributionPolicy::PeerAssisted;
         let framed = stream.encode_framed();
         let wire = stream.wire_bytes();
         let mut updated = 0u32;
         let mut secs = 0.0f64;
+        let mut peer_hits = 0u64;
+        let mut peer_misses = 0u64;
+        let mut donors: Vec<NodeId> = Vec::new();
         for &node in online {
+            let src = if peer_policy {
+                donors
+                    .iter()
+                    .copied()
+                    .filter(|&d| self.net.is_reachable(d, node))
+                    .min_by_key(|&d| (d.abs_diff(node), d))
+                    .unwrap_or(storage_src)
+            } else {
+                storage_src
+            };
             let mut delivered = false;
             for attempt in 0..=plan.max_retries() {
                 if attempt > 0 {
@@ -856,7 +1143,7 @@ impl Squirrel {
                 // Bytes move for drops, duplicates and clean deliveries
                 // alike — a dropped stream still consumed the wire.
                 let t = match self.net.try_unicast(src, node, wire) {
-                    Ok(t) => t,
+                    Ok(r) => r.seconds,
                     Err(_) => {
                         // Link partitioned: nothing was charged; burn the
                         // attempt (the cut may heal between workflow steps).
@@ -872,7 +1159,9 @@ impl Squirrel {
                 if fault == TransferFault::Duplicate {
                     // The frame arrives twice; the second copy is charged
                     // and discarded by the transactional recv's tip check.
-                    secs += self.net.unicast(src, node, wire);
+                    if let Ok(r) = self.net.try_unicast(src, node, wire) {
+                        secs += r.seconds;
+                    }
                     self.obs.inc("squirrel_fault_net_duplicates_total");
                 }
                 // In-flight corruption: flip one bit of this node's copy.
@@ -893,36 +1182,40 @@ impl Squirrel {
                     let _ = ccvol.recv_crashed(&decoded);
                     continue;
                 }
-                match ccvol.recv(&decoded) {
-                    Ok(()) => {
+                match classify_recv(ccvol.recv(&decoded)) {
+                    RecvDisposition::Delivered => {
                         delivered = true;
                         updated += 1;
                         break;
                     }
-                    // An earlier duplicate of this stream already landed.
-                    Err(RecvError::DuplicateTip(_)) => {
-                        delivered = true;
-                        updated += 1;
-                        break;
-                    }
-                    // Lagging node: retrying the same stream cannot help;
-                    // the rejoin path owns the catch-up.
-                    Err(RecvError::MissingBase(_)) => break,
-                    // Budget-evicted blocks are gone from this receiver;
-                    // no retry of the same diff can resolve them. The full
-                    // stream of the repair path will.
-                    Err(RecvError::MissingBlock(_)) => break,
+                    RecvDisposition::Lagging => break,
                     // Corrupt source payload or unresolvable pointer:
                     // bounded retries, then give up.
-                    Err(_) => continue,
+                    RecvDisposition::Retryable(_) => continue,
                 }
             }
-            if !delivered {
+            if delivered {
+                if peer_policy {
+                    if src == storage_src {
+                        peer_misses += 1;
+                    } else {
+                        peer_hits += 1;
+                    }
+                }
+                donors.push(node);
+            } else {
                 plan.note_giveup();
                 self.obs.inc("squirrel_fault_giveups_total");
             }
         }
-        (updated, secs)
+        DeliveryStats {
+            updated,
+            lagging: online.len() as u32 - updated,
+            seconds: secs,
+            peer_hits,
+            peer_misses,
+            ..DeliveryStats::default()
+        }
     }
 
     /// Paper-volume working-set bytes of `image` (scaled back up).
@@ -1340,9 +1633,40 @@ impl Squirrel {
         Ok(())
     }
 
+    /// The nearest warm peer that can serve a rejoin catch-up stream to
+    /// `node`: online, reachable, its ccVolume exactly at the scVolume's
+    /// tip snapshot, and scrub-clean (a donor serving rotten bytes never
+    /// qualifies). Candidates are probed nearest-first so at most one
+    /// scrub walks a qualified pool. In-sync replicas are bit-identical by
+    /// the determinism contract, so a qualified peer can serve any stream
+    /// the scVolume could.
+    fn nearest_rejoin_donor(&self, node: NodeId, tip: &str) -> Option<NodeId> {
+        let mut cands: Vec<(u32, NodeId)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                let peer = i as NodeId;
+                (peer != node
+                    && n.online
+                    && self.net.is_reachable(peer, node)
+                    && n.ccvol.latest_snapshot() == Some(tip))
+                .then_some((peer.abs_diff(node), peer))
+            })
+            .collect();
+        cands.sort_unstable();
+        cands
+            .into_iter()
+            .find(|&(_, peer)| self.nodes[peer as usize].ccvol.scrub().is_clean())
+            .map(|(_, peer)| peer)
+    }
+
     /// Bring a node back (paper Section 3.5): ask for the diff between its
     /// latest local snapshot and the scVolume's latest; if the base is gone
-    /// (offline longer than `n` days), replicate the whole scVolume.
+    /// (offline longer than `n` days), replicate the whole scVolume. Under
+    /// [`DistributionPolicy::PeerAssisted`] the stream's bytes are served
+    /// by the nearest in-sync, scrub-clean peer — a node can rejoin even
+    /// through a partitioned storage link — with the scVolume as fallback.
     pub fn node_rejoin(&mut self, node: NodeId) -> Result<RejoinOutcome, SquirrelError> {
         let idx = node as usize;
         if idx >= self.nodes.len() {
@@ -1366,6 +1690,27 @@ impl Squirrel {
         }
 
         let storage = self.config.compute_nodes;
+        let peer_policy = self.config.distribution == DistributionPolicy::PeerAssisted;
+        let donor = if peer_policy { self.nearest_rejoin_donor(node, &sc_latest) } else { None };
+        let src = donor.unwrap_or(storage);
+        if let Some(peer) = donor {
+            span.field("peer", peer);
+        }
+        // Wire bytes already charged by an incremental attempt that fell
+        // through to full replication (the transfer happened, the apply
+        // didn't).
+        let mut charged = 0u64;
+        let record = |sq: &Self, charged: u64, secs: f64| {
+            sq.record_dist(&DeliveryStats {
+                updated: 1,
+                seconds: secs,
+                storage_bytes: if donor.is_some() { 0 } else { charged },
+                peer_bytes: if donor.is_some() { charged } else { 0 },
+                peer_hits: u64::from(donor.is_some()),
+                peer_misses: u64::from(peer_policy && donor.is_none()),
+                ..DeliveryStats::default()
+            });
+        };
         // Try incremental first.
         if let Some(base) = &local_latest {
             if self.scvol.has_snapshot(base) {
@@ -1374,11 +1719,15 @@ impl Squirrel {
                     .send_between(Some(base), &sc_latest)
                     .map_err(SquirrelError::Send)?;
                 let wire = stream.wire_bytes();
-                // A partitioned storage link leaves the node online but
-                // still lagging; repair_replication retries later.
-                self.net
-                    .try_unicast(storage, node, wire)
-                    .map_err(SquirrelError::Net)?;
+                // A link partitioned from every source leaves the node
+                // online but still lagging; repair_replication retries
+                // later.
+                let secs = self
+                    .net
+                    .try_unicast(src, node, wire)
+                    .map_err(SquirrelError::Net)?
+                    .seconds;
+                charged += wire;
                 // The transactional recv applies the catch-up stream
                 // all-or-nothing.
                 match self.nodes[idx].ccvol.recv(&stream) {
@@ -1392,6 +1741,7 @@ impl Squirrel {
                             1,
                         );
                         self.obs.add("squirrel_rejoin_wire_bytes_total", wire);
+                        record(self, charged, secs);
                         span.field("outcome", "incremental");
                         span.field("wire_bytes", wire);
                         return Ok(RejoinOutcome::Incremental { wire_bytes: wire });
@@ -1412,9 +1762,12 @@ impl Squirrel {
             .send_between(None, &sc_latest)
             .map_err(SquirrelError::Send)?;
         let wire = stream.wire_bytes();
-        self.net
-            .try_unicast(storage, node, wire)
-            .map_err(SquirrelError::Net)?;
+        let secs = self
+            .net
+            .try_unicast(src, node, wire)
+            .map_err(SquirrelError::Net)?
+            .seconds;
+        charged += wire;
         let mut fresh = ZPool::new(Self::ccvol_pool_config(&self.config));
         // The rebuilt pool records into the same shared ccVolume series and
         // reuses the system's persistent workers.
@@ -1427,6 +1780,7 @@ impl Squirrel {
         self.nodes[idx].evicted.clear();
         self.obs.add_with("squirrel_rejoin_total", &[("outcome", "full-replication")], 1);
         self.obs.add("squirrel_rejoin_wire_bytes_total", wire);
+        record(self, charged, secs);
         span.field("outcome", "full-replication");
         span.field("wire_bytes", wire);
         Ok(RejoinOutcome::FullReplication { wire_bytes: wire })
@@ -1652,12 +2006,42 @@ impl Squirrel {
         report
     }
 
-    /// Pull an evicted (or never-delivered) cache back from the scVolume on
-    /// demand — the paper's partial-hoarding fallback. The node re-imports
-    /// the cache's blocks through its own ingest path, which lands it in a
-    /// state bit-identical to the original hoard (same keys, same frames:
-    /// compression is deterministic). The transfer is charged to the network
-    /// ledgers like a repair re-fetch.
+    /// The nearest warm peer able to donate `image`'s cache to `node`:
+    /// online, reachable, not under an eviction mark for the image, holding
+    /// the file with every record intact (a rotten donor never qualifies).
+    /// Distance is node-id distance (the flat switch's stand-in for
+    /// topology); ties go to the smaller id. `None` when no peer qualifies.
+    fn nearest_cache_donor(&self, node: NodeId, image: ImageId) -> Option<NodeId> {
+        let name = Self::cache_file_name(image);
+        let mut best: Option<(u32, NodeId)> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let peer = i as NodeId;
+            if peer == node || !n.online || !self.net.is_reachable(peer, node) {
+                continue;
+            }
+            if n.evicted.contains(&image) || !n.ccvol.has_file(&name) {
+                continue;
+            }
+            if n.ccvol.file_is_intact(&name) != Some(true) {
+                continue;
+            }
+            let key = (peer.abs_diff(node), peer);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, peer)| peer)
+    }
+
+    /// Pull an evicted (or never-delivered) cache back on demand — the
+    /// paper's partial-hoarding fallback. Under
+    /// [`DistributionPolicy::PeerAssisted`] the nearest warm peer holding
+    /// an intact, unevicted copy serves the bytes; the scVolume serves them
+    /// otherwise (and whenever no peer qualifies). Replicas are
+    /// bit-identical by construction (same keys, same frames: compression
+    /// is deterministic), so the re-import lands the node in the same state
+    /// regardless of donor. The transfer is charged to the network ledgers
+    /// and `squirrel_dist_*` counters like every other hoard transfer.
     pub fn rehoard_cache(
         &mut self,
         node: NodeId,
@@ -1677,24 +2061,42 @@ impl Squirrel {
         let mut span = self.obs.span("rehoard");
         span.field("node", node);
         span.field("image", image);
-        let refs = self.scvol.block_refs(&name).expect("file checked above");
+        let peer_policy = self.config.distribution == DistributionPolicy::PeerAssisted;
+        let donor = if peer_policy { self.nearest_cache_donor(node, image) } else { None };
+        let (src, donor_pool) = match donor {
+            Some(peer) => (peer, &self.nodes[peer as usize].ccvol),
+            None => (self.config.compute_nodes, &self.scvol),
+        };
+        let refs = donor_pool.block_refs(&name).expect("donor holds the file");
         // Compressed frames + 24-byte record headers, like repair transfers.
         let wire: u64 = refs.iter().flatten().map(|r| u64::from(r.psize) + 24).sum();
-        let storage = self.config.compute_nodes;
-        self.net
-            .try_unicast(storage, node, wire)
-            .map_err(SquirrelError::Net)?;
-        let len = self.scvol.file_len(&name).expect("file checked above");
+        let len = donor_pool.file_len(&name).expect("donor holds the file");
         let blocks: Vec<Vec<u8>> = (0..refs.len() as u64)
-            .map(|b| self.scvol.read_block(&name, b).expect("file checked above"))
+            .map(|b| donor_pool.read_block(&name, b).expect("donor holds the file"))
             .collect();
+        self.net
+            .try_unicast(src, node, wire)
+            .map_err(SquirrelError::Net)?;
         let nblocks = blocks.len() as u64;
         self.nodes[idx].ccvol.import_file(&name, blocks.into_iter(), len);
         self.nodes[idx].evicted.remove(&image);
         self.obs.inc("squirrel_rehoard_total");
         self.obs.add("squirrel_rehoard_wire_bytes_total", wire);
+        let stats = DeliveryStats {
+            updated: 1,
+            seconds: wire as f64 / (self.config.link.mbps() * 1e6),
+            storage_bytes: if donor.is_some() { 0 } else { wire },
+            peer_bytes: if donor.is_some() { wire } else { 0 },
+            peer_hits: u64::from(donor.is_some()),
+            peer_misses: u64::from(peer_policy && donor.is_none()),
+            ..DeliveryStats::default()
+        };
+        self.record_dist(&stats);
         span.field("wire_bytes", wire);
-        Ok(RehoardReport { node, image, wire_bytes: wire, blocks: nblocks })
+        if let Some(peer) = donor {
+            span.field("peer", peer);
+        }
+        Ok(RehoardReport { node, image, wire_bytes: wire, blocks: nblocks, peer: donor })
     }
 
     /// Whether `node`'s ccVolume currently holds `image`'s cache.

@@ -89,6 +89,19 @@ grep -q '"peer_below_unicast_10k": true' results/BENCH_distribution.json
 grep -q '"multicast_below_unicast_1k": true' results/BENCH_distribution.json
 grep -q '"deterministic_across_threads": true' results/BENCH_distribution.json
 
+echo "== chunking sweep smoke (release, pinned seed) =="
+rm -f results/BENCH_chunking.json
+cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \
+    chunking --images 8 --scale 8192 --seed 7 --threads 2 > /dev/null
+test -f results/BENCH_chunking.json
+# Every {strategy, mode} cell leaves bit-identical pool state and send
+# streams at threads 1/2/8; the reverse-dedup warm boot never loses to
+# forward at identical physical bytes; CDC never stores more than fixed
+# records on the byte-shifted version chain.
+grep -q '"deterministic_across_threads": true' results/BENCH_chunking.json
+grep -q '"reverse_not_slower": true' results/BENCH_chunking.json
+grep -q '"cdc_dedup_gte_fixed": true' results/BENCH_chunking.json
+
 echo "== decode fuzz smoke (release, fixed seeds) =="
 cargo test -q --release -p squirrel-zfs decode_survives > /dev/null
 

@@ -6,7 +6,7 @@
 //!
 //! commands:
 //!   table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13
-//!   fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chaos budget distribution all smoke
+//!   fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chunking chaos budget distribution all smoke
 //! ```
 //!
 //! Defaults (96 images at 1/512 volume) finish in minutes in release
@@ -14,8 +14,8 @@
 //! quantity is printed both as measured and as the paper-volume projection.
 
 use squirrel_bench::experiments::{
-    ablations, boottime, bootstorm, budget, chaosbench, distribution, extrapolate, ingest,
-    network, storage, sweeps, whatif,
+    ablations, boottime, bootstorm, budget, chaosbench, chunking, distribution, extrapolate,
+    ingest, network, storage, sweeps, whatif,
 };
 use squirrel_bench::ExperimentConfig;
 
@@ -23,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: squirrel-experiments <command> [--images N] [--scale S] [--seed S] [--out DIR] [--threads T]\n\
          commands: table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13\n\
-         \u{20}         fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chaos budget distribution all smoke"
+         \u{20}         fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chunking chaos budget distribution all smoke"
     );
     std::process::exit(2);
 }
@@ -124,6 +124,14 @@ fn main() {
         "ingest" => {
             ingest::run_ingest(&cfg, ingest::INGEST_BLOCKS, 3);
         }
+        "chunking" => {
+            chunking::run_chunking(
+                &cfg,
+                chunking::CHUNKING_BLOCKS,
+                chunking::CHUNKING_BLOCK_SIZE,
+                chunking::CHUNKING_VERSIONS,
+            );
+        }
         "chaos" => {
             chaosbench::run_chaos(&cfg);
         }
@@ -135,6 +143,12 @@ fn main() {
         }
         "all" => {
             ingest::run_ingest(&cfg, ingest::INGEST_BLOCKS, 3);
+            chunking::run_chunking(
+                &cfg,
+                chunking::CHUNKING_BLOCKS,
+                chunking::CHUNKING_BLOCK_SIZE,
+                chunking::CHUNKING_VERSIONS,
+            );
             bootstorm::run_bootstorm(&cfg, bootstorm::STORM_VMS, 3);
             chaosbench::run_chaos(&cfg);
             budget::run_budget(&cfg);

@@ -5,6 +5,7 @@ pub mod boottime;
 pub mod bootstorm;
 pub mod budget;
 pub mod chaosbench;
+pub mod chunking;
 pub mod distribution;
 pub mod extrapolate;
 pub mod ingest;

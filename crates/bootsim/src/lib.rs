@@ -18,6 +18,11 @@
 //!   locations, whole-record decompression, and an ARC that keeps popular
 //!   (cross-VMI shared) records resident.
 //!
+//! [`BootSim::boot_measured`] additionally replays a trace against a layout
+//! *measured* from a real `squirrel-zfs` pool ([`MeasuredVolumeParams`]):
+//! every seek is the actual head move between allocator-assigned extents,
+//! which is how forward- vs reverse-dedup placement is priced.
+//!
 //! Mechanisms reproduced (paper Section 4.2.3): QCOW2's 64 KiB cluster
 //! over-fetch acting as free prefetch; dedup-induced scattering punishing
 //! small records; whole-record decompression punishing records larger than
@@ -27,4 +32,4 @@ mod model;
 mod sim;
 
 pub use model::{CpuModel, DiskModel, PageCache};
-pub use sim::{Backend, BootReport, BootSim, DedupVolumeParams};
+pub use sim::{Backend, BootReport, BootSim, DedupVolumeParams, MeasuredVolumeParams};

@@ -2,6 +2,7 @@
 
 use crate::model::{CpuModel, DiskModel, PageCache};
 use squirrel_dataset::BootTrace;
+use squirrel_zfs::{RecordLoc, ZPool};
 
 /// QCOW2's default cluster size: every VM read reaches the backend in
 /// cluster-granular requests (paper Section 4.2.3).
@@ -33,6 +34,36 @@ pub struct DedupVolumeParams {
     /// pays decompression again (why 128 KiB records lose to 64 KiB ones
     /// under 64 KiB cluster requests).
     pub decompressed_cache_records: usize,
+}
+
+/// A cVolume backend described by a *measured* physical layout instead of
+/// the statistical knobs of [`DedupVolumeParams`]: every record's logical
+/// and physical placement comes straight from a real
+/// [`ZPool::file_layout`], so the simulated head movement is exactly what
+/// the pool's allocation (and any reverse-dedup relocation) produced. This
+/// is how the chunking experiment prices forward- vs reverse-dedup layouts.
+#[derive(Clone, Debug)]
+pub struct MeasuredVolumeParams {
+    /// The booted file's records in logical order (holes absent).
+    pub layout: Vec<RecordLoc>,
+    /// Dedup-table entries in the pool (drives lookup cost).
+    pub ddt_entries: u64,
+    /// Decompression CPU cost.
+    pub decompress_ns_per_byte: f64,
+    /// Capacity of the decompressed-record ARC.
+    pub decompressed_cache_records: usize,
+}
+
+impl MeasuredVolumeParams {
+    /// Measure file `name` in `pool`. `None` if the file does not exist.
+    pub fn from_pool(pool: &ZPool, name: &str) -> Option<Self> {
+        Some(MeasuredVolumeParams {
+            layout: pool.file_layout(name)?,
+            ddt_entries: pool.stats().unique_blocks,
+            decompress_ns_per_byte: pool.config().codec.decompress_ns_per_byte(),
+            decompressed_cache_records: 2048,
+        })
+    }
 }
 
 /// Storage backend behind the CoW image during boot.
@@ -251,6 +282,75 @@ impl BootSim {
         if p.record_size <= QCOW2_CLUSTER {
             z.decompressed_lru_insert(rec);
         }
+    }
+
+    /// Replay `trace` against a cVolume whose physical layout was *measured*
+    /// from a real pool ([`MeasuredVolumeParams`]). Unlike
+    /// [`Backend::DedupVolume`], which prices scatter statistically, every
+    /// seek here is the actual head move between the allocator-assigned
+    /// extents, so a reverse-dedup relocation shows up directly as fewer,
+    /// shorter seeks. Clusters with no overlapping record are holes and cost
+    /// nothing.
+    pub fn boot_measured(&self, trace: &BootTrace, p: &MeasuredVolumeParams) -> BootReport {
+        let mut report = BootReport::default();
+        let mut page_cache = PageCache::new(QCOW2_CLUSTER);
+        let mut head = 0u64;
+        // Raw (compressed) records resident in the page cache, by index into
+        // the layout — records are variable-sized, so a byte-granular
+        // PageCache over physical space would alias neighbours.
+        let mut raw_resident: std::collections::HashSet<usize> = Default::default();
+        let mut lru: std::collections::VecDeque<usize> = Default::default();
+        let mut lru_set: std::collections::HashSet<usize> = Default::default();
+        let lru_cap = p.decompressed_cache_records.max(1);
+
+        for op in &trace.ops {
+            let first = op.offset / QCOW2_CLUSTER;
+            let last = (op.offset + op.len.max(1) as u64 - 1) / QCOW2_CLUSTER;
+            for cluster in first..=last {
+                let coff = cluster * QCOW2_CLUSTER;
+                if page_cache.contains(coff, QCOW2_CLUSTER) {
+                    continue;
+                }
+                let cend = coff + QCOW2_CLUSTER;
+                // Records overlapping [coff, cend); layout is sorted by
+                // logical offset and records never overlap each other.
+                let mut i = p
+                    .layout
+                    .partition_point(|r| r.logical_off + r.llen as u64 <= coff);
+                while i < p.layout.len() && p.layout[i].logical_off < cend {
+                    let rec = &p.layout[i];
+                    report.ddt_lookups += 1;
+                    report.io_seconds += self.cpu.ddt_lookup_seconds(p.ddt_entries);
+                    if !lru_set.contains(&i) {
+                        if raw_resident.insert(i) {
+                            report.io_seconds +=
+                                self.disk.read_seconds(head, rec.phys, rec.psize as u64);
+                            head = rec.phys + rec.psize as u64;
+                            report.disk_reads += 1;
+                            report.disk_bytes += rec.psize as u64;
+                        }
+                        // Decompress the whole record to serve any part of
+                        // it; same ARC admission rule as `read_record`.
+                        report.io_seconds +=
+                            rec.llen as f64 * p.decompress_ns_per_byte / 1e9;
+                        report.decompressed_bytes += rec.llen as u64;
+                        if (rec.llen as u64) <= QCOW2_CLUSTER && lru_set.insert(i) {
+                            lru.push_back(i);
+                            if lru.len() > lru_cap {
+                                if let Some(old) = lru.pop_front() {
+                                    lru_set.remove(&old);
+                                }
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                page_cache.insert(coff, QCOW2_CLUSTER);
+            }
+        }
+
+        report.total_seconds = self.cpu.os_boot_seconds + report.io_seconds;
+        report
     }
 }
 
@@ -517,6 +617,111 @@ mod tests {
         let a = boot(Backend::DedupVolume(params(8192)));
         let b = boot(Backend::DedupVolume(params(8192)));
         assert_eq!(a.total_seconds.to_bits(), b.total_seconds.to_bits());
+    }
+
+    /// An interleaved two-file pool: file "b"'s records alternate with
+    /// "a"'s on disk, so "b" is maximally fragmented until a reverse pass.
+    fn interleaved_pool(bs: usize, n: u64) -> squirrel_zfs::ZPool {
+        use squirrel_compress::Codec;
+        let mut p = squirrel_zfs::ZPool::new(squirrel_zfs::PoolConfig::new(bs, Codec::Off));
+        p.create_file("a");
+        p.create_file("b");
+        for i in 0..n {
+            p.write_block("a", i, &vec![(i + 1) as u8; bs]);
+            p.write_block("b", i, &vec![(i + 101) as u8; bs]);
+        }
+        p
+    }
+
+    /// Sequential cluster-sized reads over the first `bytes` of the image.
+    fn seq_trace(bytes: u64) -> BootTrace {
+        let ops = (0..bytes / QCOW2_CLUSTER)
+            .map(|c| ReadOp { offset: c * QCOW2_CLUSTER, len: QCOW2_CLUSTER as u32 })
+            .collect();
+        BootTrace { ops }
+    }
+
+    #[test]
+    fn measured_reverse_layout_boots_faster_than_scattered() {
+        let (bs, n) = (4096usize, 64u64);
+        let mut pool = interleaved_pool(bs, n);
+        // Tight contiguity threshold so record-sized gaps cost real seeks.
+        let sim = BootSim {
+            disk: DiskModel { contiguous_bytes: 1024, ..Default::default() },
+            cpu: CpuModel::default(),
+        };
+        let t = seq_trace(n * bs as u64);
+
+        let before = MeasuredVolumeParams::from_pool(&pool, "b").expect("file");
+        let scattered = sim.boot_measured(&t, &before);
+        let rep = pool.reverse_dedup_pass("b").expect("file");
+        assert!(rep.extents_after < rep.extents_before, "{rep:?}");
+        let after = MeasuredVolumeParams::from_pool(&pool, "b").expect("file");
+        let sequential = sim.boot_measured(&t, &after);
+
+        // Same records, same bytes — only the head movement changed.
+        assert_eq!(scattered.disk_bytes, sequential.disk_bytes);
+        assert_eq!(scattered.ddt_lookups, sequential.ddt_lookups);
+        assert_eq!(scattered.decompressed_bytes, sequential.decompressed_bytes);
+        assert!(
+            sequential.io_seconds < 0.5 * scattered.io_seconds,
+            "sequential {} vs scattered {}",
+            sequential.io_seconds,
+            scattered.io_seconds
+        );
+    }
+
+    #[test]
+    fn measured_boot_skips_holes() {
+        use squirrel_compress::Codec;
+        let bs = 4096usize;
+        let mut p = squirrel_zfs::ZPool::new(squirrel_zfs::PoolConfig::new(bs, Codec::Off));
+        p.create_file("s");
+        p.write_block("s", 40, &vec![9u8; bs]); // lands in cluster 2
+        let params = MeasuredVolumeParams::from_pool(&p, "s").expect("file");
+
+        let hole = BootTrace { ops: vec![ReadOp { offset: 0, len: 4096 }] };
+        let r = BootSim::new().boot_measured(&hole, &params);
+        assert_eq!(r.disk_reads, 0);
+        assert_eq!(r.ddt_lookups, 0);
+        assert_eq!(r.io_seconds, 0.0, "holes cost nothing");
+
+        let data = BootTrace { ops: vec![ReadOp { offset: 40 * bs as u64, len: 4096 }] };
+        let r2 = BootSim::new().boot_measured(&data, &params);
+        assert_eq!(r2.disk_reads, 1);
+        assert!(r2.io_seconds > 0.0);
+    }
+
+    #[test]
+    fn measured_boot_is_deterministic_and_accounts_cdc_record_sizes() {
+        use squirrel_compress::Codec;
+        use squirrel_zfs::{CdcParams, ChunkStrategy};
+        let bs = 4096usize;
+        let mut p = squirrel_zfs::ZPool::new(
+            squirrel_zfs::PoolConfig::new(bs, Codec::Lzjb)
+                .with_chunking(ChunkStrategy::Cdc(CdcParams::with_average(4096))),
+        );
+        let blocks: Vec<Vec<u8>> = (0..32)
+            .map(|i| (0..bs).map(|j| ((i * 131 + j * 7) % 251) as u8 | 1).collect())
+            .collect();
+        p.import_file_parallel("img", &blocks, 32 * bs as u64);
+        let params = MeasuredVolumeParams::from_pool(&p, "img").expect("file");
+        let t = seq_trace(32 * bs as u64);
+
+        let a = BootSim::new().boot_measured(&t, &params);
+        let b = BootSim::new().boot_measured(&t, &params);
+        assert_eq!(a.total_seconds.to_bits(), b.total_seconds.to_bits());
+        assert_eq!(a.disk_reads, b.disk_reads);
+
+        // Every variable-size record is fetched and decompressed exactly
+        // once: raw residency stops re-reads, the ARC stops re-decompression.
+        let total_llen: u64 = params.layout.iter().map(|r| r.llen as u64).sum();
+        let total_psize: u64 = params.layout.iter().map(|r| r.psize as u64).sum();
+        assert_eq!(a.decompressed_bytes, total_llen);
+        assert_eq!(a.disk_bytes, total_psize);
+        // Records straddling a cluster boundary are looked up once per
+        // touching cluster, so lookups can exceed the record count.
+        assert!(a.ddt_lookups as usize >= params.layout.len());
     }
 
     #[test]

@@ -11,8 +11,8 @@ use squirrel_hash::par::WorkerPool;
 use squirrel_obs::{Metrics, MetricsRegistry};
 use squirrel_qcow::{CorCache, VirtualDisk};
 use squirrel_zfs::{
-    BlockKey, PoolConfig, RecvError, ScrubReport, SendError, SendStream, SharedArcCache,
-    SpaceStats, ZPool,
+    BlockKey, ChunkStrategy, DedupMode, PoolConfig, RecvError, ScrubReport, SendError,
+    SendStream, SharedArcCache, SpaceStats, ZPool,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -86,6 +86,16 @@ pub struct SquirrelConfig {
     /// restores, rejoin catch-ups). Point-to-point unicast by default; see
     /// [`DistributionPolicy`].
     pub distribution: DistributionPolicy,
+    /// How imported cache contents are cut into records. Fixed-size (the
+    /// paper's ZFS recordsize) by default; a `Fixed` strategy always follows
+    /// [`block_size`](Self::block_size), whatever size it names. Switch to
+    /// [`ChunkStrategy::Cdc`] for content-defined chunking, which keeps
+    /// dedup working across byte-shifted image versions.
+    pub chunking: ChunkStrategy,
+    /// Forward (ZFS-style: new blocks scatter toward old copies) or reverse
+    /// (RevDedup-style: each import is relocated into one sequential run,
+    /// fragmenting *older* snapshots instead) deduplication.
+    pub dedup_mode: DedupMode,
 }
 
 impl Default for SquirrelConfig {
@@ -101,6 +111,8 @@ impl Default for SquirrelConfig {
             metrics: true,
             hoard_budget: HoardBudget::unlimited(),
             distribution: DistributionPolicy::Unicast,
+            chunking: ChunkStrategy::Fixed(64 * 1024),
+            dedup_mode: DedupMode::Forward,
         }
     }
 }
@@ -109,6 +121,17 @@ impl SquirrelConfig {
     /// Builder seeded with the paper's deployment defaults.
     pub fn builder() -> SquirrelConfigBuilder {
         SquirrelConfigBuilder { config: SquirrelConfig::default() }
+    }
+
+    /// The chunking strategy as handed to pools: a `Fixed` strategy always
+    /// tracks [`block_size`](Self::block_size), whatever size it was built
+    /// with, so `..Default::default()` literals stay consistent when only
+    /// the record size is overridden.
+    pub fn pool_chunking(&self) -> ChunkStrategy {
+        match self.chunking {
+            ChunkStrategy::Fixed(_) => ChunkStrategy::Fixed(self.block_size),
+            cdc => cdc,
+        }
     }
 }
 
@@ -169,6 +192,20 @@ impl SquirrelConfigBuilder {
     /// [`DistributionPolicy::Unicast`] by default.
     pub fn distribution(mut self, policy: DistributionPolicy) -> Self {
         self.config.distribution = policy;
+        self
+    }
+
+    /// Chunking strategy for cache imports; fixed records at
+    /// [`block_size`](Self::block_size) by default. A `Fixed` strategy is
+    /// normalized to the configured record size, so only its kind matters.
+    pub fn chunking(mut self, strategy: ChunkStrategy) -> Self {
+        self.config.chunking = strategy;
+        self
+    }
+
+    /// Dedup placement mode; [`DedupMode::Forward`] by default.
+    pub fn dedup_mode(mut self, mode: DedupMode) -> Self {
+        self.config.dedup_mode = mode;
         self
     }
 
@@ -661,7 +698,10 @@ impl Squirrel {
         // The scVolume is the shared catalog: the hoard budget is a
         // per-compute-node constraint and does not apply to it.
         let mut scvol = ZPool::new(
-            PoolConfig::new(config.block_size, config.codec).with_threads(config.threads),
+            PoolConfig::new(config.block_size, config.codec)
+                .with_threads(config.threads)
+                .with_chunking(config.pool_chunking())
+                .with_dedup_mode(config.dedup_mode),
         );
         scvol.set_metrics(&obs.with_label("pool", "scvol"));
         scvol.set_worker_pool(workers.clone());
@@ -736,6 +776,8 @@ impl Squirrel {
     fn ccvol_pool_config(config: &SquirrelConfig) -> PoolConfig {
         PoolConfig::new(config.block_size, config.codec)
             .with_threads(config.threads)
+            .with_chunking(config.pool_chunking())
+            .with_dedup_mode(config.dedup_mode)
             .with_quotas(config.hoard_budget.disk_bytes, config.hoard_budget.ddt_mem_bytes)
     }
 
@@ -2071,13 +2113,15 @@ impl Squirrel {
         // Compressed frames + 24-byte record headers, like repair transfers.
         let wire: u64 = refs.iter().flatten().map(|r| u64::from(r.psize) + 24).sum();
         let len = donor_pool.file_len(&name).expect("donor holds the file");
-        let blocks: Vec<Vec<u8>> = (0..refs.len() as u64)
+        // Block count from the file length, not `refs.len()`: for chunked
+        // (CDC) files the refs are per *record*, not per block.
+        let nblocks = len.div_ceil(self.config.block_size as u64);
+        let blocks: Vec<Vec<u8>> = (0..nblocks)
             .map(|b| donor_pool.read_block(&name, b).expect("donor holds the file"))
             .collect();
         self.net
             .try_unicast(src, node, wire)
             .map_err(SquirrelError::Net)?;
-        let nblocks = blocks.len() as u64;
         self.nodes[idx].ccvol.import_file(&name, blocks.into_iter(), len);
         self.nodes[idx].evicted.remove(&image);
         self.obs.inc("squirrel_rehoard_total");
@@ -2604,6 +2648,39 @@ mod tests {
     }
 
     #[test]
+    fn cdc_reverse_system_full_workflow() {
+        use squirrel_zfs::CdcParams;
+        let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+        let mut sq = Squirrel::new(
+            SquirrelConfig {
+                compute_nodes: 2,
+                block_size: 16 * 1024,
+                chunking: ChunkStrategy::Cdc(CdcParams::with_average(16 * 1024)),
+                dedup_mode: DedupMode::Reverse,
+                ..Default::default()
+            },
+            corpus,
+        );
+        sq.register(0).expect("r0");
+        sq.register(1).expect("r1");
+        // Warm boots are served byte-exact from the chunked hoarded cache.
+        let v = sq.verify_boot(1, 0).expect("verify");
+        assert!(v.bytes_verified > 0);
+        assert!(v.backing_fetches <= 2, "warm boot fetched {}", v.backing_fetches);
+        // Chunked pools scrub clean end to end (scVolume and ccVolume).
+        assert!(sq.scrub_scvol().is_clean());
+        assert!(sq.scrub_node(0).expect("node").is_clean());
+        // Evict + rehoard round-trips a chunked cache, whose block count
+        // comes from the file length rather than the per-record refs.
+        assert!(sq.evict_cache(1, 0).expect("evict").was_cached);
+        let re = sq.rehoard_cache(1, 0).expect("rehoard");
+        assert!(re.blocks > 0);
+        let v2 = sq.verify_boot(1, 0).expect("verify rehoarded");
+        assert!(v2.bytes_verified > 0);
+        assert!(v2.backing_fetches <= 2);
+    }
+
+    #[test]
     fn verify_boot_without_cache_fetches_from_backing() {
         let mut sq = small_system(1);
         let v = sq.verify_boot(0, 1).expect("verify");
@@ -2730,6 +2807,8 @@ mod tests {
             .storage_nodes(4)
             .threads(2)
             .metrics(false)
+            .chunking(ChunkStrategy::Cdc(squirrel_zfs::CdcParams::with_average(4096)))
+            .dedup_mode(DedupMode::Reverse)
             .build();
         assert_eq!(built.block_size, 16 * 1024);
         assert_eq!(built.codec, Codec::Gzip(1));
@@ -2737,9 +2816,15 @@ mod tests {
         assert_eq!(built.compute_nodes, 8);
         assert_eq!(built.threads, 2);
         assert!(!built.metrics);
+        assert!(built.chunking.is_cdc());
+        assert_eq!(built.dedup_mode, DedupMode::Reverse);
         let default = SquirrelConfig::builder().build();
         assert_eq!(default.block_size, SquirrelConfig::default().block_size);
         assert!(default.metrics);
+        assert_eq!(default.dedup_mode, DedupMode::Forward);
+        // A Fixed strategy is normalized to the configured record size.
+        let odd = SquirrelConfig::builder().block_size(16 * 1024).build();
+        assert_eq!(odd.pool_chunking(), ChunkStrategy::Fixed(16 * 1024));
     }
 
     #[test]

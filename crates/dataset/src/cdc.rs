@@ -4,145 +4,64 @@
 //! The paper justifies using ZFS (fixed-size records) by citing Jin &
 //! Miller's finding that fixed-size chunking deduplicates VM images about
 //! as well as variable-size chunking. This module lets the reproduction
-//! *test* that claim on its corpus: a Gear-style rolling hash cuts chunk
-//! boundaries where the content dictates, so insertions shift boundaries
-//! instead of ruining every following block — the classic CDC advantage
-//! that VM images (page/block-aligned by construction) mostly don't need.
+//! *test* that claim on its corpus.
+//!
+//! The chunker itself — Gear rolling hash, parameters, boundary scan —
+//! lives in [`squirrel_hash::cdc`], the same implementation `squirrel_zfs`
+//! pools use when configured with `ChunkStrategy::Cdc`. This module only
+//! adapts corpus caches onto that shared code (via the shared
+//! [`ChunkLedger`] accounting), so the dataset-level dedup sweeps and the
+//! pool's ingest path cannot drift apart.
 
 use crate::corpus::Corpus;
-use crate::rng::SplitMix64;
-use squirrel_hash::{ContentHash, FnvHashMap};
+pub use squirrel_hash::cdc::{
+    chunk_boundaries, CdcParams, ChunkLedger, ChunkStrategy, ChunkingStats,
+};
 
-/// Gear table: 256 random 64-bit values indexed by byte.
-fn gear_table(seed: u64) -> [u64; 256] {
-    let mut rng = SplitMix64::from_parts(&[seed, 0x6ea4]);
-    let mut t = [0u64; 256];
-    for v in t.iter_mut() {
-        *v = rng.next_u64();
-    }
-    t
-}
-
-/// Chunking parameters.
-#[derive(Clone, Copy, Debug)]
-pub struct CdcParams {
-    pub min_size: usize,
-    /// The boundary mask targets an average of `avg_size` (a power of two).
-    pub avg_size: usize,
-    pub max_size: usize,
-}
-
-impl CdcParams {
-    /// Parameters targeting an average chunk of `avg` bytes.
-    pub fn with_average(avg: usize) -> Self {
-        assert!(avg.is_power_of_two() && avg >= 1024);
-        CdcParams { min_size: avg / 4, avg_size: avg, max_size: avg * 4 }
-    }
-
-    fn mask(&self) -> u64 {
-        (self.avg_size as u64 - 1) << 16
-    }
-}
-
-/// Split `data` into content-defined chunks; returns chunk byte ranges.
-pub fn chunk_boundaries(data: &[u8], params: &CdcParams, gear: &[u64; 256]) -> Vec<(usize, usize)> {
-    let mask = params.mask();
-    let mut out = Vec::new();
-    let mut start = 0usize;
-    while start < data.len() {
-        let mut hash = 0u64;
-        let mut i = start;
-        let hard_end = (start + params.max_size).min(data.len());
-        let soft_start = (start + params.min_size).min(data.len());
-        let mut cut = hard_end;
-        while i < hard_end {
-            hash = (hash << 1).wrapping_add(gear[data[i] as usize]);
-            if i >= soft_start && hash & mask == 0 {
-                cut = i + 1;
-                break;
+/// Deduplicate the corpus' caches under `strategy` using the shared ledger.
+///
+/// This is the single accounting path both [`cdc_dedup_caches`] and
+/// [`fixed_dedup_caches`] reduce to.
+pub fn dedup_caches(corpus: &Corpus, strategy: ChunkStrategy) -> ChunkingStats {
+    let mut ledger = ChunkLedger::new();
+    match strategy {
+        ChunkStrategy::Fixed(bs) => {
+            for img in corpus.iter() {
+                for block in img.cache().blocks_trimmed(bs) {
+                    if block.is_empty() {
+                        continue;
+                    }
+                    ledger.add_chunk(&block);
+                }
             }
-            i += 1;
         }
-        out.push((start, cut));
-        start = cut;
+        ChunkStrategy::Cdc(params) => {
+            for img in corpus.iter() {
+                let cache = img.cache();
+                let mut data = vec![0u8; cache.bytes() as usize];
+                img.read_at(0, &mut data);
+                for (s, e) in chunk_boundaries(&data, &params) {
+                    ledger.add_chunk(&data[s..e]);
+                }
+            }
+        }
     }
-    out
-}
-
-/// Dedup statistics of one chunking strategy over a corpus' caches.
-#[derive(Clone, Copy, Debug)]
-pub struct ChunkingStats {
-    pub total_chunks: u64,
-    pub unique_chunks: u64,
-    pub total_bytes: u64,
-    pub unique_bytes: u64,
-    pub mean_chunk_bytes: f64,
-}
-
-impl ChunkingStats {
-    pub fn dedup_ratio(&self) -> f64 {
-        self.total_bytes as f64 / self.unique_bytes.max(1) as f64
-    }
+    ledger.finish()
 }
 
 /// Deduplicate the corpus' caches under CDC with the given parameters.
+///
+/// The gear table is seeded from the corpus seed, so boundaries are a pure
+/// function of (corpus, parameters).
 pub fn cdc_dedup_caches(corpus: &Corpus, params: &CdcParams) -> ChunkingStats {
-    let gear = gear_table(corpus.config().seed);
-    let mut seen: FnvHashMap<u128, u32> = FnvHashMap::default();
-    let mut stats = ChunkingStats {
-        total_chunks: 0,
-        unique_chunks: 0,
-        total_bytes: 0,
-        unique_bytes: 0,
-        mean_chunk_bytes: 0.0,
-    };
-    for img in corpus.iter() {
-        let cache = img.cache();
-        let mut data = vec![0u8; cache.bytes() as usize];
-        img.read_at(0, &mut data);
-        for (s, e) in chunk_boundaries(&data, params, &gear) {
-            let chunk = &data[s..e];
-            stats.total_chunks += 1;
-            stats.total_bytes += chunk.len() as u64;
-            let key = ContentHash::of(chunk).short();
-            if seen.insert(key, 1).is_none() {
-                stats.unique_chunks += 1;
-                stats.unique_bytes += chunk.len() as u64;
-            }
-        }
-    }
-    stats.mean_chunk_bytes = stats.total_bytes as f64 / stats.total_chunks.max(1) as f64;
-    stats
+    let params = params.with_gear_seed(corpus.config().seed);
+    dedup_caches(corpus, ChunkStrategy::Cdc(params))
 }
 
 /// Deduplicate the corpus' caches under fixed-size blocks of `bs` (same
 /// accounting as [`cdc_dedup_caches`], for apples-to-apples comparison).
 pub fn fixed_dedup_caches(corpus: &Corpus, bs: usize) -> ChunkingStats {
-    let mut seen: FnvHashMap<u128, u32> = FnvHashMap::default();
-    let mut stats = ChunkingStats {
-        total_chunks: 0,
-        unique_chunks: 0,
-        total_bytes: 0,
-        unique_bytes: 0,
-        mean_chunk_bytes: 0.0,
-    };
-    for img in corpus.iter() {
-        let cache = img.cache();
-        for block in cache.blocks_trimmed(bs) {
-            if block.is_empty() {
-                continue;
-            }
-            stats.total_chunks += 1;
-            stats.total_bytes += block.len() as u64;
-            let key = ContentHash::of(&block).short();
-            if seen.insert(key, 1).is_none() {
-                stats.unique_chunks += 1;
-                stats.unique_bytes += block.len() as u64;
-            }
-        }
-    }
-    stats.mean_chunk_bytes = stats.total_bytes as f64 / stats.total_chunks.max(1) as f64;
-    stats
+    dedup_caches(corpus, ChunkStrategy::Fixed(bs))
 }
 
 #[cfg(test)]
@@ -160,9 +79,8 @@ mod tests {
         let img = c.image(0);
         let mut data = vec![0u8; img.cache().bytes() as usize];
         img.read_at(0, &mut data);
-        let params = CdcParams::with_average(4096);
-        let gear = gear_table(1);
-        let cuts = chunk_boundaries(&data, &params, &gear);
+        let params = CdcParams::with_average(4096).with_gear_seed(1);
+        let cuts = chunk_boundaries(&data, &params);
         assert_eq!(cuts.first().expect("nonempty").0, 0);
         assert_eq!(cuts.last().expect("nonempty").1, data.len());
         for w in cuts.windows(2) {
@@ -176,9 +94,8 @@ mod tests {
         let img = c.image(1);
         let mut data = vec![0u8; img.cache().bytes() as usize];
         img.read_at(0, &mut data);
-        let params = CdcParams::with_average(4096);
-        let gear = gear_table(1);
-        let cuts = chunk_boundaries(&data, &params, &gear);
+        let params = CdcParams::with_average(4096).with_gear_seed(1);
+        let cuts = chunk_boundaries(&data, &params);
         for &(s, e) in &cuts[..cuts.len() - 1] {
             let n = e - s;
             assert!(n >= params.min_size, "chunk {n}");
@@ -194,19 +111,19 @@ mod tests {
     #[test]
     fn boundaries_survive_prefix_insertion() {
         // The CDC selling point: shifting content re-synchronizes.
-        let gear = gear_table(9);
-        let params = CdcParams::with_average(2048);
+        use squirrel_hash::ContentHash;
+        let params = CdcParams::with_average(2048).with_gear_seed(9);
         let c = corpus();
         let img = c.image(2);
         let mut data = vec![0u8; img.cache().bytes() as usize];
         img.read_at(0, &mut data);
         let mut shifted = vec![0xEEu8; 37];
         shifted.extend_from_slice(&data);
-        let a: std::collections::HashSet<u128> = chunk_boundaries(&data, &params, &gear)
+        let a: std::collections::HashSet<u128> = chunk_boundaries(&data, &params)
             .iter()
             .map(|&(s, e)| ContentHash::of(&data[s..e]).short())
             .collect();
-        let b: std::collections::HashSet<u128> = chunk_boundaries(&shifted, &params, &gear)
+        let b: std::collections::HashSet<u128> = chunk_boundaries(&shifted, &params)
             .iter()
             .map(|&(s, e)| ContentHash::of(&shifted[s..e]).short())
             .collect();
@@ -243,5 +160,15 @@ mod tests {
         assert!(s.unique_chunks <= s.total_chunks);
         assert!(s.unique_bytes <= s.total_bytes);
         assert!(s.mean_chunk_bytes > 0.0);
+    }
+
+    #[test]
+    fn cdc_gear_seed_follows_corpus_seed() {
+        // Two corpora with different seeds chunk under different gear
+        // tables but the accounting stays self-consistent.
+        let c = corpus();
+        let s = cdc_dedup_caches(&c, &CdcParams::with_average(4096));
+        assert!(s.unique_chunks <= s.total_chunks);
+        assert!(s.dedup_ratio() >= 1.0);
     }
 }

@@ -7,6 +7,7 @@
 //! hashes ([`Fnv1a64`], [`mix64`]) for hot in-memory tables where HashDoS is
 //! not a concern (see the Rust Performance Book's hashing chapter).
 
+pub mod cdc;
 mod fast;
 pub mod par;
 mod sha256;

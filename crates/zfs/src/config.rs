@@ -1,6 +1,24 @@
 //! Pool configuration: block size, codec, and accounting constants.
 
 use squirrel_compress::Codec;
+pub use squirrel_hash::cdc::ChunkStrategy;
+
+/// How commits place new data relative to existing snapshots' copies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DedupMode {
+    /// Classic forward dedup: a new write that matches an existing block
+    /// points at the *old* physical copy, so the newest snapshot inherits
+    /// the pool's accumulated fragmentation.
+    #[default]
+    Forward,
+    /// RevDedup-style reverse dedup: after each whole-file import the pool
+    /// runs [`crate::ZPool::reverse_dedup_pass`], relocating every record
+    /// of the new file to fresh sequential extents at the allocation
+    /// cursor. Older snapshots' pointers chase the moved blocks, so the
+    /// *latest* data stays physically sequential and old snapshots pay the
+    /// seek cost.
+    Reverse,
+}
 
 /// Configuration of a [`crate::ZPool`].
 ///
@@ -39,6 +57,14 @@ pub struct PoolConfig {
     /// blocks); `0` = unlimited. Reported, not enforced, like
     /// [`disk_quota_bytes`](Self::disk_quota_bytes).
     pub ddt_mem_quota_bytes: u64,
+    /// How whole-file imports cut content into dedup units. `Fixed` keeps
+    /// the classic `block_size` records (and is wire-identical to pools
+    /// that predate this knob); `Cdc` cuts content-defined chunks in the
+    /// parallel prepare stage.
+    pub chunking: ChunkStrategy,
+    /// Forward (classic) or reverse (read-optimized, RevDedup-style)
+    /// commit placement.
+    pub dedup_mode: DedupMode,
 }
 
 impl Default for PoolConfig {
@@ -55,7 +81,7 @@ impl PoolConfig {
 
     /// Start a builder seeded with [`PoolConfig::paper_default`].
     pub fn builder() -> PoolConfigBuilder {
-        PoolConfigBuilder { config: PoolConfig::paper_default() }
+        PoolConfigBuilder { config: PoolConfig::paper_default(), chunking_set: false }
     }
 
     /// A pool with the given record size and codec and default accounting
@@ -72,6 +98,8 @@ impl PoolConfig {
             threads: 0,
             disk_quota_bytes: 0,
             ddt_mem_quota_bytes: 0,
+            chunking: ChunkStrategy::Fixed(block_size),
+            dedup_mode: DedupMode::Forward,
         }
     }
 
@@ -93,6 +121,18 @@ impl PoolConfig {
         self.ddt_mem_quota_bytes = ddt_mem_bytes;
         self
     }
+
+    /// Set the chunking strategy for whole-file imports.
+    pub fn with_chunking(mut self, chunking: ChunkStrategy) -> Self {
+        self.chunking = chunking;
+        self
+    }
+
+    /// Set the commit placement mode.
+    pub fn with_dedup_mode(mut self, mode: DedupMode) -> Self {
+        self.dedup_mode = mode;
+        self
+    }
 }
 
 /// Builder for [`PoolConfig`]. Setters mirror the config fields; `build`
@@ -100,6 +140,10 @@ impl PoolConfig {
 #[derive(Clone, Debug)]
 pub struct PoolConfigBuilder {
     config: PoolConfig,
+    /// Whether [`chunking`](Self::chunking) was called; when it wasn't,
+    /// `build` re-derives `Fixed(block_size)` so a builder that only sets
+    /// `block_size` stays consistent.
+    chunking_set: bool,
 }
 
 impl PoolConfigBuilder {
@@ -153,9 +197,32 @@ impl PoolConfigBuilder {
         self
     }
 
+    /// Chunking strategy for whole-file imports. The builder seeds this
+    /// from the paper default's block size; setting
+    /// [`block_size`](Self::block_size) without setting a strategy keeps
+    /// fixed chunking at the new record size (resolved in
+    /// [`build`](Self::build)).
+    pub fn chunking(mut self, chunking: ChunkStrategy) -> Self {
+        self.config.chunking = chunking;
+        self.chunking_set = true;
+        self
+    }
+
+    /// Commit placement mode (forward or reverse dedup).
+    pub fn dedup_mode(mut self, mode: DedupMode) -> Self {
+        self.config.dedup_mode = mode;
+        self
+    }
+
     pub fn build(self) -> PoolConfig {
-        let c = self.config;
+        let mut c = self.config;
         assert!(c.block_size >= 512 && c.block_size.is_power_of_two(), "record size");
+        if !self.chunking_set {
+            c.chunking = ChunkStrategy::Fixed(c.block_size);
+        }
+        if let ChunkStrategy::Fixed(bs) = c.chunking {
+            assert_eq!(bs, c.block_size, "fixed chunk size must equal the record size");
+        }
         c
     }
 }
@@ -232,5 +299,42 @@ mod tests {
         let d = PoolConfig::default();
         assert_eq!(d.block_size, 65536);
         assert_eq!(d.codec, Codec::Gzip(6));
+    }
+
+    #[test]
+    fn chunking_defaults_to_fixed_at_block_size() {
+        let c = PoolConfig::new(4096, Codec::Off);
+        assert_eq!(c.chunking, ChunkStrategy::Fixed(4096));
+        assert_eq!(c.dedup_mode, DedupMode::Forward);
+        // Builder that only changes block_size re-derives the fixed size.
+        let b = PoolConfig::builder().block_size(8192).build();
+        assert_eq!(b.chunking, ChunkStrategy::Fixed(8192));
+    }
+
+    #[test]
+    fn chunking_and_dedup_mode_are_settable() {
+        use squirrel_hash::cdc::CdcParams;
+        let p = CdcParams::with_average(4096);
+        let c = PoolConfig::new(4096, Codec::Off)
+            .with_chunking(ChunkStrategy::Cdc(p))
+            .with_dedup_mode(DedupMode::Reverse);
+        assert_eq!(c.chunking, ChunkStrategy::Cdc(p));
+        assert_eq!(c.dedup_mode, DedupMode::Reverse);
+        let b = PoolConfig::builder()
+            .block_size(4096)
+            .chunking(ChunkStrategy::Cdc(p))
+            .dedup_mode(DedupMode::Reverse)
+            .build();
+        assert_eq!(b.chunking, ChunkStrategy::Cdc(p));
+        assert_eq!(b.dedup_mode, DedupMode::Reverse);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed chunk size must equal the record size")]
+    fn builder_rejects_mismatched_fixed_chunking() {
+        let _ = PoolConfig::builder()
+            .block_size(8192)
+            .chunking(ChunkStrategy::Fixed(4096))
+            .build();
     }
 }

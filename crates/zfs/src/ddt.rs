@@ -27,6 +27,9 @@ pub struct DdtEntry {
     pub refcount: u64,
     /// Compressed (physical) size in bytes.
     pub psize: u32,
+    /// Logical (uncompressed) size in bytes. Equals the pool record size
+    /// for fixed chunking; variable for CDC chunks.
+    pub lsize: u32,
     /// Physical byte offset on the (modelled) disk.
     pub phys: u64,
     /// Compressed payload, present when the pool retains data.
@@ -67,13 +70,13 @@ impl DedupTable {
         self.entries.get(key)
     }
 
-    /// Add one reference to `key`, inserting a fresh entry (with `psize` and
-    /// optional payload produced by `make`) when the block is new. Returns
-    /// `true` when the block was new.
+    /// Add one reference to `key`, inserting a fresh entry (with
+    /// `(psize, lsize, payload)` produced by `make`) when the block is new.
+    /// Returns `true` when the block was new.
     pub fn add_ref(
         &mut self,
         key: BlockKey,
-        make: impl FnOnce() -> (u32, Option<SharedPayload>),
+        make: impl FnOnce() -> (u32, u32, Option<SharedPayload>),
     ) -> bool {
         match self.entries.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut o) => {
@@ -81,11 +84,11 @@ impl DedupTable {
                 false
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                let (psize, data) = make();
+                let (psize, lsize, data) = make();
                 let phys = self.alloc_cursor;
                 self.alloc_cursor += psize as u64;
                 self.physical_bytes += psize as u64;
-                v.insert(DdtEntry { refcount: 1, psize, phys, data });
+                v.insert(DdtEntry { refcount: 1, psize, lsize, phys, data });
                 true
             }
         }
@@ -127,6 +130,21 @@ impl DedupTable {
         true
     }
 
+    /// Relocate `key`'s block to a fresh extent at the allocation cursor
+    /// (the reverse-dedup primitive: the caller is making some file's
+    /// working set physically sequential, and every other referent of the
+    /// block chases the move for free because `phys` lives only here).
+    /// Physical accounting is unchanged — the old extent becomes a hole,
+    /// like any freed space under the append-only allocator. Returns
+    /// `(old_phys, psize)`, or `None` when the key is absent.
+    pub fn reassign_phys(&mut self, key: &BlockKey) -> Option<(u64, u32)> {
+        let entry = self.entries.get_mut(key)?;
+        let old = entry.phys;
+        entry.phys = self.alloc_cursor;
+        self.alloc_cursor += entry.psize as u64;
+        Some((old, entry.psize))
+    }
+
     /// Sum of all refcounts (diagnostic; equals the number of live block
     /// pointers across files and snapshots).
     pub fn total_refs(&self) -> u64 {
@@ -143,8 +161,8 @@ impl DedupTable {
 mod tests {
     use super::*;
 
-    fn payload(n: u32) -> impl FnOnce() -> (u32, Option<SharedPayload>) {
-        move || (n, Some(vec![0xabu8; n as usize].into()))
+    fn payload(n: u32) -> impl FnOnce() -> (u32, u32, Option<SharedPayload>) {
+        move || (n, n, Some(vec![0xabu8; n as usize].into()))
     }
 
     #[test]
@@ -205,6 +223,31 @@ mod tests {
         assert_eq!(t.get(&1).expect("entry").psize, 30);
         assert!(!t.replace_payload(9, 10, None), "absent key is a no-op");
         assert_eq!(t.physical_bytes(), 80);
+    }
+
+    #[test]
+    fn add_ref_records_logical_size() {
+        let mut t = DedupTable::new();
+        t.add_ref(1, || (40, 128, None));
+        let e = t.get(&1).expect("entry");
+        assert_eq!(e.psize, 40);
+        assert_eq!(e.lsize, 128);
+    }
+
+    #[test]
+    fn reassign_phys_moves_to_cursor_without_accounting_change() {
+        let mut t = DedupTable::new();
+        t.add_ref(1, payload(100));
+        t.add_ref(2, payload(50));
+        let before = t.physical_bytes();
+        // Block 1 sat at 0; relocating it lands past block 2's extent.
+        assert_eq!(t.reassign_phys(&1), Some((0, 100)));
+        assert_eq!(t.get(&1).expect("e").phys, 150);
+        assert_eq!(t.physical_bytes(), before, "holes, not growth");
+        // The cursor advanced: the next new block lands after the move.
+        t.add_ref(3, payload(7));
+        assert_eq!(t.get(&3).expect("e").phys, 250);
+        assert_eq!(t.reassign_phys(&99), None, "absent key is a no-op");
     }
 
     #[test]

@@ -33,15 +33,22 @@
 //! exactly once per batch-new unique key, mirroring the serial path's
 //! lazy `add_ref` closure.
 
+use crate::config::{ChunkStrategy, DedupMode};
 use crate::ddt::{BlockKey, SharedPayload};
-use crate::pool::{FileTable, ZPool};
+use crate::pool::{CdcChunk, FileTable, ZPool};
 use squirrel_compress::Compressor;
+use squirrel_hash::cdc::{chunk_boundaries_with, gear_table, CdcParams};
 use squirrel_hash::{ContentHash, FnvHashSet};
 use std::sync::Arc;
 
 /// A prepared DDT payload: compressed size plus the frame itself (absent in
 /// accounting-only pools) — exactly what `DedupTable::add_ref` consumes.
 type PreparedFrame = (u32, Option<SharedPayload>);
+
+/// One content-defined chunk out of the parallel boundary scan: its byte
+/// range within the run buffer, and `None` for all-zero chunks (elided as
+/// holes) or `(key, already-in-DDT)` otherwise.
+type ScannedChunk = (usize, usize, Option<(BlockKey, bool)>);
 
 impl ZPool {
     /// Parallel counterpart of [`ZPool::import_file`]: import `blocks` as
@@ -71,9 +78,23 @@ impl ZPool {
         self.ingest(name, &idxs, &data, None);
     }
 
-    /// The shared four-stage pipeline. `idxs[j]` is the file block index of
-    /// `data[j]`; both are in ascending block order.
+    /// The shared staged pipeline. `idxs[j]` is the file block index of
+    /// `data[j]`; both are in ascending block order. Dispatches on the
+    /// pool's [`ChunkStrategy`], and finishes with a
+    /// [`ZPool::reverse_dedup_pass`] under [`DedupMode::Reverse`].
     fn ingest(&mut self, name: &str, idxs: &[u64], data: &[&[u8]], logical_len: Option<u64>) {
+        match self.config().chunking {
+            ChunkStrategy::Fixed(_) => self.ingest_fixed(name, idxs, data, logical_len),
+            ChunkStrategy::Cdc(params) => self.ingest_cdc(name, idxs, data, logical_len, params),
+        }
+        if self.config().dedup_mode == DedupMode::Reverse {
+            self.reverse_dedup_pass(name);
+        }
+    }
+
+    /// The fixed-record four-stage pipeline (bit-identical to a serial
+    /// [`ZPool::write_block`] replay at any thread count).
+    fn ingest_fixed(&mut self, name: &str, idxs: &[u64], data: &[&[u8]], logical_len: Option<u64>) {
         let cfg = *self.config();
         for b in data {
             assert_eq!(b.len(), cfg.block_size, "unaligned write");
@@ -149,7 +170,7 @@ impl ZPool {
                     let (pk, (psize, payload)) = &mut prepared[next];
                     debug_assert_eq!(*pk, k, "prepared drains in first-occurrence order");
                     next += 1;
-                    (*psize, payload.take())
+                    (*psize, cfg.block_size as u32, payload.take())
                 });
                 if was_new {
                     misses += 1;
@@ -176,7 +197,162 @@ impl ZPool {
             len = l;
         }
         self.files_mut()
-            .insert(name.to_string(), FileTable { ptrs: Arc::new(ptrs), len });
+            .insert(name.to_string(), FileTable { ptrs: Arc::new(ptrs), chunks: None, len });
+    }
+
+    /// The CDC pipeline: same staged shape as
+    /// [`ingest_fixed`](Self::ingest_fixed), but stage 1 also runs the Gear
+    /// boundary scan on the workers, cutting each physically contiguous run
+    /// of input blocks into content-defined chunks that then flow through
+    /// the identical probe → compress → commit path. Chunk boundaries, key
+    /// order, and physical allocation depend only on content, so the result
+    /// is bit-identical at any thread count.
+    fn ingest_cdc(
+        &mut self,
+        name: &str,
+        idxs: &[u64],
+        data: &[&[u8]],
+        logical_len: Option<u64>,
+        params: CdcParams,
+    ) {
+        let cfg = *self.config();
+        for b in data {
+            assert_eq!(b.len(), cfg.block_size, "unaligned write");
+        }
+        self.create_file(name);
+        let bs = cfg.block_size as u64;
+
+        // Contiguous runs of block indices: CDC must scan unbroken logical
+        // byte ranges (a gap in a sparse import is a hole, and a chunk never
+        // spans one).
+        let mut runs: Vec<std::ops::Range<usize>> = Vec::new();
+        for j in 0..idxs.len() {
+            match runs.last_mut() {
+                Some(r) if idxs[j] == idxs[r.end - 1] + 1 => r.end = j + 1,
+                _ => runs.push(j..j + 1),
+            }
+        }
+
+        // Stage 1 "prepare" (parallel, fused): per run, concatenate the
+        // blocks, Gear-scan the boundaries (memoized gear table, resolved
+        // once per batch), then zero-scan + hash + DDT-probe each chunk.
+        let gear = gear_table(params.gear_seed);
+        let scanned: Vec<(Vec<u8>, Vec<ScannedChunk>)> = {
+            let _t = self.meters.metrics.timer("zpool_ingest_prepare");
+            let ddt = self.ddt();
+            self.worker_pool().parallel_map(&runs, |_r, run| {
+                let mut buf = Vec::with_capacity(run.len() * cfg.block_size);
+                for j in run.clone() {
+                    buf.extend_from_slice(data[j]);
+                }
+                let chunks = chunk_boundaries_with(&buf, &params, &gear)
+                    .into_iter()
+                    .map(|(s, e)| {
+                        let key = ContentHash::of_nonzero(&buf[s..e]).map(|h| {
+                            let k = h.short();
+                            (k, ddt.get(&k).is_some())
+                        });
+                        (s, e, key)
+                    })
+                    .collect();
+                (buf, chunks)
+            })
+        };
+
+        // Stage 2 "probe" (serial): first-occurrence scan across runs in
+        // logical order, fixing each batch-new key's representative chunk.
+        let mut new_unique: Vec<(BlockKey, usize, usize, usize)> = Vec::new();
+        {
+            let _t = self.meters.metrics.timer("zpool_ingest_probe");
+            let mut seen: FnvHashSet<BlockKey> = FnvHashSet::default();
+            for (r, (_, chunks)) in scanned.iter().enumerate() {
+                for &(s, e, key) in chunks {
+                    if let Some((k, known)) = key {
+                        if !known && seen.insert(k) {
+                            new_unique.push((k, r, s, e));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Stage 3 "compress" (parallel, pure): one compression per
+        // batch-new unique chunk.
+        let mut prepared: Vec<(BlockKey, u32, PreparedFrame)> = {
+            let _t = self.meters.metrics.timer("zpool_ingest_compress");
+            let compressor = Compressor::new(cfg.codec);
+            self.worker_pool().parallel_map(&new_unique, |_j, &(k, r, s, e)| {
+                let frame = compressor.compress(&scanned[r].0[s..e]);
+                let psize = frame.len() as u32;
+                (k, (e - s) as u32, (psize, cfg.retain_data.then(|| frame.into())))
+            })
+        };
+
+        // Stage 4 "commit" (serial, batched): add_ref in first-occurrence
+        // order (cursor drain, like the fixed path) while building the
+        // chunk table in logical order; zero chunks become gaps.
+        let _t = self.meters.metrics.timer("zpool_ingest_commit");
+        self.ddt_mut().reserve(prepared.len());
+        let mut chunk_table: Vec<CdcChunk> = Vec::new();
+        let mut next = 0usize;
+        let mut chunk_count = 0u64;
+        let mut chunk_bytes = 0u64;
+        let mut zeros = 0u64;
+        let mut misses = 0u64;
+        let mut compress_in = 0u64;
+        let mut compress_out = 0u64;
+        for (r, (_, chunks)) in scanned.iter().enumerate() {
+            let run_off = idxs[runs[r].start] * bs;
+            for &(s, e, key) in chunks {
+                chunk_count += 1;
+                chunk_bytes += (e - s) as u64;
+                let Some((k, _)) = key else {
+                    zeros += 1;
+                    continue;
+                };
+                let was_new = self.ddt_mut().add_ref(k, || {
+                    let (pk, lsize, (psize, payload)) = &mut prepared[next];
+                    debug_assert_eq!(*pk, k, "prepared drains in first-occurrence order");
+                    next += 1;
+                    (*psize, *lsize, payload.take())
+                });
+                if was_new {
+                    misses += 1;
+                    let (_, lsize, (psize, _)) = prepared[next - 1];
+                    compress_in += lsize as u64;
+                    compress_out += psize as u64;
+                    self.meters.compressed_block_bytes.observe(psize as u64);
+                }
+                chunk_table.push(CdcChunk {
+                    key: k,
+                    logical_off: run_off + s as u64,
+                    len: (e - s) as u32,
+                });
+            }
+        }
+        debug_assert_eq!(next, prepared.len(), "every prepared frame committed");
+        let n = data.len() as u64;
+        self.meters.ingest_blocks.add(n);
+        self.meters.ingest_bytes.add(n * bs);
+        self.meters.zero_blocks.add(zeros);
+        self.meters.ddt_hits.add(chunk_count - zeros - misses);
+        self.meters.ddt_misses.add(misses);
+        self.meters.compress_in_bytes.add(compress_in);
+        self.meters.compress_out_bytes.add(compress_out);
+        self.meters.chunking_chunks.add(chunk_count);
+        self.meters.chunking_chunk_bytes.add(chunk_bytes);
+        let mut len = idxs.last().map(|&i| (i + 1) * bs).unwrap_or(0);
+        if let Some(l) = logical_len {
+            len = l;
+        }
+        self.files_mut().insert(
+            name.to_string(),
+            FileTable {
+                ptrs: Arc::new(Vec::new()),
+                chunks: Some(Arc::new(chunk_table)),
+                len,
+            },
+        );
     }
 }
 
@@ -314,5 +490,96 @@ mod tests {
         assert!(p.has_file("f"));
         assert_eq!(p.file_len("f"), Some(0));
         assert_eq!(p.stats().unique_blocks, 0);
+    }
+
+    #[test]
+    fn cdc_import_is_bit_identical_across_threads() {
+        use crate::config::ChunkStrategy;
+        use squirrel_hash::cdc::CdcParams;
+        let bs = 1024;
+        let blocks = test_blocks(bs, 48);
+        let len = 48 * bs as u64;
+        let mk = |threads| {
+            PoolConfig::new(bs, Codec::Lz4)
+                .with_chunking(ChunkStrategy::Cdc(CdcParams::with_average(2048)))
+                .with_threads(threads)
+        };
+        let mut reference = ZPool::new(mk(1));
+        reference.import_file_parallel("f", &blocks, len);
+        let ref_stats = reference.stats();
+        reference.snapshot("s");
+        let ref_wire = reference.send_latest().expect("snapshot").encode();
+        for threads in [2, 8] {
+            let mut p = ZPool::new(mk(threads));
+            p.import_file_parallel("f", &blocks, len);
+            assert_eq!(p.stats(), ref_stats, "threads={threads}");
+            assert_eq!(p.block_refs("f"), reference.block_refs("f"), "threads={threads}");
+            assert!(p.check_refcounts());
+            p.snapshot("s");
+            assert_eq!(
+                p.send_latest().expect("snapshot").encode(),
+                ref_wire,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdc_sparse_import_respects_holes() {
+        use crate::config::ChunkStrategy;
+        use squirrel_hash::cdc::CdcParams;
+        let bs = 512;
+        let sparse: Vec<(u64, Vec<u8>)> = vec![
+            (1, (0..bs).map(|j| (j % 9) as u8).collect()),
+            (2, (0..bs).map(|j| (j % 11) as u8).collect()),
+            (7, vec![5u8; bs]),
+        ];
+        let mut p = ZPool::new(
+            PoolConfig::new(bs, Codec::Lzjb)
+                .with_chunking(ChunkStrategy::Cdc(CdcParams::with_average(1024)))
+                .with_threads(2),
+        );
+        p.import_blocks_parallel("c", &sparse);
+        // Gaps read as zeros; a chunk never spans the hole between runs.
+        assert_eq!(p.read_block("c", 0).expect("file"), vec![0u8; bs]);
+        assert_eq!(p.read_block("c", 3).expect("file"), vec![0u8; bs]);
+        for (idx, d) in &sparse {
+            assert_eq!(p.read_block("c", *idx).expect("file"), *d, "block {idx}");
+        }
+        assert!(p.check_refcounts());
+    }
+
+    #[test]
+    fn cdc_import_dedups_shifted_content_better_than_fixed() {
+        use crate::config::ChunkStrategy;
+        use squirrel_hash::cdc::CdcParams;
+        // A 64-byte prefix insertion shifts every fixed block boundary, so
+        // fixed-block dedup finds nothing; Gear boundaries resynchronize a
+        // few chunks in and the rest of the corpus dedups.
+        let bs = 512;
+        let n = 64usize;
+        let base: Vec<u8> = (0..(n * bs) as u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8)
+            .collect();
+        let mut shifted = vec![0x77u8; 64];
+        shifted.extend_from_slice(&base[..n * bs - 64]);
+        let to_blocks =
+            |data: &[u8]| -> Vec<Vec<u8>> { data.chunks(bs).map(|c| c.to_vec()).collect() };
+        let growth = |cfg: PoolConfig| {
+            let mut p = ZPool::new(cfg);
+            p.import_file_parallel("v1", &to_blocks(&base), (n * bs) as u64);
+            let before = p.stats().physical_bytes;
+            p.import_file_parallel("v2", &to_blocks(&shifted), (n * bs) as u64);
+            p.stats().physical_bytes - before
+        };
+        let fixed_growth = growth(PoolConfig::new(bs, Codec::Off));
+        let cdc_growth = growth(
+            PoolConfig::new(bs, Codec::Off)
+                .with_chunking(ChunkStrategy::Cdc(CdcParams::with_average(2048))),
+        );
+        assert!(
+            cdc_growth < fixed_growth / 2,
+            "cdc grew {cdc_growth} vs fixed {fixed_growth}"
+        );
     }
 }

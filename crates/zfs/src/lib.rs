@@ -45,9 +45,10 @@ pub mod sharedarc;
 pub mod stats;
 
 pub use arc::{ArcCache, ArcStats};
-pub use config::{PoolConfig, PoolConfigBuilder};
+pub use config::{DedupMode, PoolConfig, PoolConfigBuilder};
 pub use ddt::{BlockKey, DdtEntry, DedupTable, SharedPayload};
-pub use pool::{BlockRef, ZPool};
+pub use pool::{BlockRef, CdcChunk, FileScatter, RecordLoc, ReverseDedupReport, ZPool};
+pub use squirrel_hash::cdc::{CdcParams, ChunkStrategy};
 pub use scrub::ScrubReport;
 pub use sddt::ShardedDedupTable;
 pub use send::{DecodeError, RecvError, SendError, SendStream};

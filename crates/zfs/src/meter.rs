@@ -25,6 +25,16 @@ pub(crate) struct PoolMeters {
     pub(crate) scrub_blocks: Counter,
     pub(crate) scrub_bytes: Counter,
     pub(crate) compressed_block_bytes: Histogram,
+    /// Chunks emitted by the CDC prepare stage (zero chunks included).
+    pub(crate) chunking_chunks: Counter,
+    /// Logical bytes those chunks covered (mean chunk size =
+    /// `chunk_bytes / chunks`).
+    pub(crate) chunking_chunk_bytes: Counter,
+    /// Distinct blocks relocated by reverse-dedup passes.
+    pub(crate) reverse_extents_rewritten: Counter,
+    /// Compressed bytes whose old physical copies became holes under
+    /// reverse dedup.
+    pub(crate) reverse_bytes_freed: Counter,
 }
 
 impl PoolMeters {
@@ -43,6 +53,10 @@ impl PoolMeters {
             scrub_blocks: m.counter("zpool_scrub_blocks_total"),
             scrub_bytes: m.counter("zpool_scrub_bytes_total"),
             compressed_block_bytes: m.histogram("zpool_compressed_block_bytes"),
+            chunking_chunks: m.counter("squirrel_chunking_chunks_total"),
+            chunking_chunk_bytes: m.counter("squirrel_chunking_chunk_bytes_total"),
+            reverse_extents_rewritten: m.counter("squirrel_chunking_reverse_extents_rewritten_total"),
+            reverse_bytes_freed: m.counter("squirrel_chunking_reverse_bytes_freed_total"),
         }
     }
 

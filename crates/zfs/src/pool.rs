@@ -8,7 +8,7 @@
 //! plus one per snapshot pointer, so destroying snapshots frees exactly the
 //! blocks nothing else uses.
 
-use crate::config::PoolConfig;
+use crate::config::{DedupMode, PoolConfig};
 use crate::ddt::{BlockKey, SharedPayload};
 use crate::meter::PoolMeters;
 use crate::sddt::ShardedDedupTable;
@@ -30,17 +30,106 @@ pub struct BlockRef {
     pub psize: u32,
 }
 
+/// One data record of a file's physical layout: where a logically
+/// positioned record lives on the (modelled) disk. This is the
+/// measured-layout input that `squirrel-bootsim`-style seek models consume
+/// — real extents, not an assumed scatter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordLoc {
+    /// Logical byte offset of the record in the file.
+    pub logical_off: u64,
+    /// Logical (uncompressed) record length.
+    pub llen: u32,
+    /// Physical byte offset of the compressed record.
+    pub phys: u64,
+    /// Compressed size on disk.
+    pub psize: u32,
+}
+
+/// On-disk scatter of one file: how many physically contiguous extents its
+/// logically ordered records form, and how far apart they sit.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FileScatter {
+    /// Data records (holes excluded).
+    pub records: u64,
+    /// Physically contiguous runs of records in logical order. `1` means a
+    /// perfectly sequential file.
+    pub extents: u64,
+    /// Total compressed bytes of the records.
+    pub data_bytes: u64,
+    /// Physical span from the first to the last byte touched.
+    pub span_bytes: u64,
+    /// Mean physical distance between consecutive records in logical order
+    /// (`0` when contiguous) — the per-transition seek distance a
+    /// sequential reader pays.
+    pub mean_gap_bytes: f64,
+}
+
+/// What a [`ZPool::reverse_dedup_pass`] did to one file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReverseDedupReport {
+    /// Extent count before the pass.
+    pub extents_before: u64,
+    /// Extent count after relocation (near 1 for a dedup-free file).
+    pub extents_after: u64,
+    /// Distinct blocks relocated to the new sequential region.
+    pub keys_rewritten: u64,
+    /// Compressed bytes whose old physical copies became holes.
+    pub bytes_freed: u64,
+}
+
+/// One content-defined chunk of a file: a key plus where the chunk's bytes
+/// sit in the file's logical address space. Chunks are kept sorted by
+/// `logical_off` and never overlap; gaps between chunks are holes (all-zero
+/// content elided at ingest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CdcChunk {
+    pub key: BlockKey,
+    pub logical_off: u64,
+    pub len: u32,
+}
+
 /// Per-file block-pointer table. The pointer vector sits behind an `Arc` so
 /// snapshots and send-stream metadata share it: cloning a table (every
 /// snapshot clones the whole file map) is a refcount bump, and the
 /// copy-on-write `Arc::make_mut` in [`ZPool::write_block`] only materializes
 /// a private vector when a shared table is actually modified.
+///
+/// A file is *either* block-addressed (`ptrs`, fixed chunking) *or*
+/// chunk-addressed (`chunks`, CDC) — never both. Chunked files are
+/// import-only: [`ZPool::write_block`] rejects them.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub(crate) struct FileTable {
     /// `None` = hole (zero block).
     pub(crate) ptrs: Arc<Vec<Option<BlockKey>>>,
+    /// Content-defined chunks, sorted by `logical_off`; `None` for
+    /// block-addressed files.
+    pub(crate) chunks: Option<Arc<Vec<CdcChunk>>>,
     /// Logical file length in bytes.
     pub(crate) len: u64,
+}
+
+impl FileTable {
+    /// Every referenced block key, with multiplicity — one per live block
+    /// pointer or chunk. This is the iteration all refcount bookkeeping
+    /// (snapshot, delete, purge, invariant checks) runs on, so the two
+    /// addressing shapes can't diverge.
+    pub(crate) fn iter_keys(&self) -> impl Iterator<Item = BlockKey> + '_ {
+        self.ptrs.iter().copied().flatten().chain(
+            self.chunks
+                .as_deref()
+                .into_iter()
+                .flatten()
+                .map(|c| c.key),
+        )
+    }
+
+    /// Number of on-disk pointer records this table costs (block pointers
+    /// including holes, or chunk records).
+    pub(crate) fn ptr_count(&self) -> u64 {
+        self.ptrs.len() as u64
+            + self.chunks.as_deref().map(|c| c.len() as u64).unwrap_or(0)
+    }
 }
 
 /// A whole-pool snapshot: the file set at a point in time.
@@ -139,7 +228,7 @@ impl ZPool {
     /// blocks until destroyed).
     pub fn delete_file(&mut self, name: &str) {
         if let Some(table) = self.files.remove(name) {
-            for key in table.ptrs.iter().copied().flatten() {
+            for key in table.iter_keys() {
                 self.ddt.release(&key);
             }
         }
@@ -150,6 +239,10 @@ impl ZPool {
     /// punches a hole.
     pub fn write_block(&mut self, name: &str, block_idx: u64, data: &[u8]) {
         assert_eq!(data.len(), self.config.block_size, "unaligned write");
+        assert!(
+            self.files.get(name).and_then(|t| t.chunks.as_ref()).is_none(),
+            "write_block on a CDC-chunked file (chunked files are import-only)"
+        );
         self.meters.ingest_blocks.inc();
         self.meters.ingest_bytes.add(data.len() as u64);
         let new_key = if squirrel_hash::is_zero_block(data) {
@@ -163,7 +256,7 @@ impl ZPool {
             self.ddt.add_ref(key, || {
                 let frame = compress(codec, data);
                 let psize = frame.len() as u32;
-                (psize, retain.then(|| frame.into()))
+                (psize, data.len() as u32, retain.then(|| frame.into()))
             });
             if existed {
                 self.meters.ddt_hits.inc();
@@ -191,11 +284,43 @@ impl ZPool {
         }
     }
 
+    /// Fill `buf` with the chunked file's bytes at logical offset `start`
+    /// (zeros where no chunk covers). `chunks` is sorted by `logical_off`.
+    fn read_range_chunked(&self, chunks: &[CdcChunk], start: u64, buf: &mut [u8]) {
+        let end = start + buf.len() as u64;
+        let mut i = chunks.partition_point(|c| c.logical_off + c.len as u64 <= start);
+        while i < chunks.len() && chunks[i].logical_off < end {
+            let c = &chunks[i];
+            let entry = self.ddt.get(&c.key).expect("dangling chunk pointer");
+            let frame = entry.data.as_ref().expect("read from accounting-only pool");
+            let bytes = decompress(frame, entry.lsize as usize);
+            let lo = start.max(c.logical_off);
+            let hi = end.min(c.logical_off + c.len as u64);
+            buf[(lo - start) as usize..(hi - start) as usize].copy_from_slice(
+                &bytes[(lo - c.logical_off) as usize..(hi - c.logical_off) as usize],
+            );
+            i += 1;
+        }
+    }
+
+    /// Whether any chunk of a chunked file overlaps the given block.
+    fn block_is_hole_chunked(chunks: &[CdcChunk], start: u64, end: u64) -> bool {
+        let i = chunks.partition_point(|c| c.logical_off + c.len as u64 <= start);
+        chunks.get(i).map(|c| c.logical_off >= end).unwrap_or(true)
+    }
+
     /// Read one block (zeros for holes and unwritten space). `None` if the
-    /// file does not exist.
+    /// file does not exist. On chunked files this assembles the
+    /// `block_size` window from the chunks that overlap it, so logical
+    /// reads are identical across chunking strategies.
     pub fn read_block(&self, name: &str, block_idx: u64) -> Option<Vec<u8>> {
         let table = self.files.get(name)?;
         let bs = self.config.block_size;
+        if let Some(chunks) = table.chunks.as_deref() {
+            let mut buf = vec![0u8; bs];
+            self.read_range_chunked(chunks, block_idx * bs as u64, &mut buf);
+            return Some(buf);
+        }
         match table.ptrs.get(block_idx as usize).copied().flatten() {
             None => Some(vec![0u8; bs]),
             Some(key) => {
@@ -213,12 +338,22 @@ impl ZPool {
     /// [`crate::SharedArcCache`].
     pub fn read_block_shared(&self, name: &str, block_idx: u64) -> Option<SharedPayload> {
         let table = self.files.get(name)?;
+        let bs = self.config.block_size;
+        if let Some(chunks) = table.chunks.as_deref() {
+            let start = block_idx * bs as u64;
+            if Self::block_is_hole_chunked(chunks, start, start + bs as u64) {
+                return Some(Arc::clone(&self.zero_block));
+            }
+            let mut buf = vec![0u8; bs];
+            self.read_range_chunked(chunks, start, &mut buf);
+            return Some(buf.into());
+        }
         match table.ptrs.get(block_idx as usize).copied().flatten() {
             None => Some(Arc::clone(&self.zero_block)),
             Some(key) => {
                 let entry = self.ddt.get(&key).expect("dangling block pointer");
                 let frame = entry.data.as_ref().expect("read from accounting-only pool");
-                Some(decompress(frame, self.config.block_size).into())
+                Some(decompress(frame, bs).into())
             }
         }
     }
@@ -228,25 +363,41 @@ impl ZPool {
         Arc::clone(&self.zero_block)
     }
 
-    /// Resolve one block pointer of `name`. Outer `None` = no such file;
+    /// Resolve one record pointer of `name`. Outer `None` = no such file;
     /// inner `None` = hole (including unwritten space past the table, which
     /// reads as zeros). Unlike [`block_refs`](Self::block_refs), this does
     /// not materialize the whole table — the read caches call it per block.
+    /// On chunked files the index addresses *records* (chunks in logical
+    /// order), not fixed blocks.
     pub fn block_ref(&self, name: &str, block_idx: u64) -> Option<Option<BlockRef>> {
         let table = self.files.get(name)?;
+        if let Some(chunks) = table.chunks.as_deref() {
+            return Some(chunks.get(block_idx as usize).map(|c| {
+                let e = self.ddt.get(&c.key).expect("dangling chunk pointer");
+                BlockRef { key: c.key, phys: e.phys, psize: e.psize }
+            }));
+        }
         Some(table.ptrs.get(block_idx as usize).copied().flatten().map(|key| {
             let e = self.ddt.get(&key).expect("dangling block pointer");
             BlockRef { key, phys: e.phys, psize: e.psize }
         }))
     }
 
-    /// Import a whole file from an iterator of `block_size` blocks.
+    /// Import a whole file from an iterator of `block_size` blocks. Under
+    /// `ChunkStrategy::Cdc` this routes through the staged ingest pipeline
+    /// (the only writer of chunked tables); under `DedupMode::Reverse` the
+    /// import ends with a [`reverse_dedup_pass`](Self::reverse_dedup_pass).
     pub fn import_file(
         &mut self,
         name: &str,
         blocks: impl Iterator<Item = Vec<u8>>,
         logical_len: u64,
     ) {
+        if self.config.chunking.is_cdc() {
+            let blocks: Vec<Vec<u8>> = blocks.collect();
+            self.import_file_parallel(name, &blocks, logical_len);
+            return;
+        }
         self.create_file(name);
         for (i, block) in blocks.enumerate() {
             self.write_block(name, i as u64, &block);
@@ -254,12 +405,27 @@ impl ZPool {
         if let Some(table) = self.files.get_mut(name) {
             table.len = logical_len;
         }
+        if self.config.dedup_mode == DedupMode::Reverse {
+            self.reverse_dedup_pass(name);
+        }
     }
 
-    /// Resolved block pointers of `name` (for physical-layout analysis);
-    /// `None` entries are holes.
+    /// Resolved record pointers of `name` (for physical-layout analysis);
+    /// `None` entries are holes. One entry per block pointer (fixed) or per
+    /// chunk in logical order (CDC).
     pub fn block_refs(&self, name: &str) -> Option<Vec<Option<BlockRef>>> {
         let table = self.files.get(name)?;
+        if let Some(chunks) = table.chunks.as_deref() {
+            return Some(
+                chunks
+                    .iter()
+                    .map(|c| {
+                        let e = self.ddt.get(&c.key).expect("dangling chunk pointer");
+                        Some(BlockRef { key: c.key, phys: e.phys, psize: e.psize })
+                    })
+                    .collect(),
+            );
+        }
         Some(
             table
                 .ptrs
@@ -283,8 +449,8 @@ impl ZPool {
             "duplicate snapshot tag {tag}"
         );
         for table in self.files.values() {
-            for key in table.ptrs.iter().flatten() {
-                self.ddt.add_ref(*key, || unreachable!("snapshot references live block"));
+            for key in table.iter_keys() {
+                self.ddt.add_ref(key, || unreachable!("snapshot references live block"));
             }
         }
         self.snapshots.push(Snapshot { tag: tag.to_string(), files: self.files.clone() });
@@ -297,8 +463,8 @@ impl ZPool {
         };
         let snap = self.snapshots.remove(i);
         for table in snap.files.values() {
-            for key in table.ptrs.iter().flatten() {
-                self.ddt.release(key);
+            for key in table.iter_keys() {
+                self.ddt.release(&key);
             }
         }
         true
@@ -352,12 +518,12 @@ impl ZPool {
     /// Current space accounting.
     pub fn stats(&self) -> SpaceStats {
         let logical_bytes: u64 = self.files.values().map(|f| f.len).sum();
-        let live_ptrs: u64 = self.files.values().map(|f| f.ptrs.len() as u64).sum();
+        let live_ptrs: u64 = self.files.values().map(|f| f.ptr_count()).sum();
         let snap_ptrs: u64 = self
             .snapshots
             .iter()
             .flat_map(|s| s.files.values())
-            .map(|f| f.ptrs.len() as u64)
+            .map(|f| f.ptr_count())
             .sum();
         let unique_blocks = self.ddt.len() as u64;
         SpaceStats {
@@ -380,9 +546,9 @@ impl ZPool {
         let table = self.files.get(name)?;
         let mut total = 0u64;
         let mut shared = 0u64;
-        for key in table.ptrs.iter().flatten() {
+        for key in table.iter_keys() {
             total += 1;
-            if self.ddt.get(key).map(|e| e.refcount).unwrap_or(0) > threshold {
+            if self.ddt.get(&key).map(|e| e.refcount).unwrap_or(0) > threshold {
                 shared += 1;
             }
         }
@@ -429,6 +595,7 @@ impl ZPool {
         metrics.set_gauge("zpool_disk_bytes", s.total_disk_bytes());
         metrics.set_gauge("zpool_ddt_entries", s.unique_blocks);
         metrics.set_gauge("zpool_ddt_mem_bytes", s.ddt_memory_bytes);
+        metrics.set_gauge_f64("zpool_scatter", self.mean_file_extents());
     }
 
     /// Purge `name` everywhere: the live dataset *and* every snapshot drop
@@ -449,11 +616,131 @@ impl ZPool {
         }
         let any = !removed.is_empty();
         for table in removed {
-            for key in table.ptrs.iter().copied().flatten() {
+            for key in table.iter_keys() {
                 self.ddt.release(&key);
             }
         }
         any
+    }
+
+    // --- physical layout ----------------------------------------------------
+
+    /// The physical layout of `name`'s data records in logical order (holes
+    /// excluded): fixed files yield one record per nonzero block pointer,
+    /// chunked files one per chunk. `None` if the file does not exist.
+    pub fn file_layout(&self, name: &str) -> Option<Vec<RecordLoc>> {
+        let table = self.files.get(name)?;
+        let mut out = Vec::new();
+        if let Some(chunks) = table.chunks.as_deref() {
+            for c in chunks {
+                let e = self.ddt.get(&c.key).expect("dangling chunk pointer");
+                out.push(RecordLoc {
+                    logical_off: c.logical_off,
+                    llen: c.len,
+                    phys: e.phys,
+                    psize: e.psize,
+                });
+            }
+        } else {
+            let bs = self.config.block_size as u64;
+            for (i, p) in table.ptrs.iter().enumerate() {
+                if let Some(key) = p {
+                    let e = self.ddt.get(key).expect("dangling block pointer");
+                    out.push(RecordLoc {
+                        logical_off: i as u64 * bs,
+                        llen: e.lsize,
+                        phys: e.phys,
+                        psize: e.psize,
+                    });
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Measure `name`'s on-disk scatter: extents and physical gaps along
+    /// the logical read order. This is what a sequential reader (a booting
+    /// VM walking its cache) actually pays, and what
+    /// `BootSim::boot_measured` prices.
+    pub fn file_scatter(&self, name: &str) -> Option<FileScatter> {
+        let layout = self.file_layout(name)?;
+        let mut s = FileScatter::default();
+        let mut gap_sum = 0u64;
+        let mut min_phys = u64::MAX;
+        let mut max_end = 0u64;
+        let mut prev_end: Option<u64> = None;
+        for r in &layout {
+            s.records += 1;
+            s.data_bytes += r.psize as u64;
+            min_phys = min_phys.min(r.phys);
+            max_end = max_end.max(r.phys + r.psize as u64);
+            match prev_end {
+                Some(end) if end == r.phys => {}
+                other => {
+                    s.extents += 1;
+                    if let Some(end) = other {
+                        gap_sum += end.abs_diff(r.phys);
+                    }
+                }
+            }
+            prev_end = Some(r.phys + r.psize as u64);
+        }
+        if s.records > 1 {
+            s.mean_gap_bytes = gap_sum as f64 / (s.records - 1) as f64;
+        }
+        if s.records > 0 {
+            s.span_bytes = max_end - min_phys;
+        }
+        Some(s)
+    }
+
+    /// Mean extent count over all live files with data (the
+    /// `zpool_scatter` gauge): `1.0` means every file reads sequentially.
+    pub fn mean_file_extents(&self) -> f64 {
+        let mut files = 0u64;
+        let mut extents = 0u64;
+        for name in self.files.keys() {
+            let s = self.file_scatter(name).expect("live file");
+            if s.records > 0 {
+                files += 1;
+                extents += s.extents;
+            }
+        }
+        if files == 0 {
+            0.0
+        } else {
+            extents as f64 / files as f64
+        }
+    }
+
+    /// RevDedup-style reverse pass: relocate every distinct block of
+    /// `name`, in logical read order, onto fresh sequential extents at the
+    /// allocation cursor. Older snapshots' pointers chase the moves for
+    /// free (physical location lives only in the DDT entry), so *they*
+    /// inherit the scatter while the latest import becomes contiguous; the
+    /// superseded old extents become holes. Content, refcounts, and
+    /// physical accounting are untouched — only placement changes. `None`
+    /// if the file does not exist.
+    pub fn reverse_dedup_pass(&mut self, name: &str) -> Option<ReverseDedupReport> {
+        let before = self.file_scatter(name)?;
+        let keys: Vec<BlockKey> = {
+            let table = self.files.get(name).expect("checked above");
+            let mut seen = squirrel_hash::FnvHashSet::default();
+            table.iter_keys().filter(|k| seen.insert(*k)).collect()
+        };
+        let mut report = ReverseDedupReport {
+            extents_before: before.extents,
+            ..Default::default()
+        };
+        for key in keys {
+            let (_, psize) = self.ddt.reassign_phys(&key).expect("live key");
+            report.keys_rewritten += 1;
+            report.bytes_freed += psize as u64;
+        }
+        report.extents_after = self.file_scatter(name).expect("still live").extents;
+        self.meters.reverse_extents_rewritten.add(report.keys_rewritten);
+        self.meters.reverse_bytes_freed.add(report.bytes_freed);
+        Some(report)
     }
 
     /// Invariant check used by tests: every refcount equals the number of
@@ -461,14 +748,14 @@ impl ZPool {
     pub fn check_refcounts(&self) -> bool {
         let mut counts: std::collections::HashMap<BlockKey, u64> = std::collections::HashMap::new();
         for table in self.files.values() {
-            for key in table.ptrs.iter().flatten() {
-                *counts.entry(*key).or_insert(0) += 1;
+            for key in table.iter_keys() {
+                *counts.entry(key).or_insert(0) += 1;
             }
         }
         for snap in &self.snapshots {
             for table in snap.files.values() {
-                for key in table.ptrs.iter().flatten() {
-                    *counts.entry(*key).or_insert(0) += 1;
+                for key in table.iter_keys() {
+                    *counts.entry(key).or_insert(0) += 1;
                 }
             }
         }
@@ -735,6 +1022,161 @@ mod tests {
         let after = p.stats().bp_disk_bytes;
         assert_eq!(after, before * 2);
     }
+
+    fn cdc_pool(bs: usize) -> ZPool {
+        use squirrel_hash::cdc::{CdcParams, ChunkStrategy};
+        ZPool::new(
+            PoolConfig::new(bs, Codec::Lzjb)
+                .with_chunking(ChunkStrategy::Cdc(CdcParams::with_average(1024))),
+        )
+    }
+
+    /// Patterned blocks with zero blocks, duplicates, and varied content.
+    fn patterned(bs: usize, n: usize, salt: u8) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| match i % 4 {
+                0 => vec![0u8; bs],
+                1 | 3 => (0..bs)
+                    .map(|j| (j as u8).wrapping_mul(7).wrapping_add(salt))
+                    .collect(),
+                _ => (0..bs)
+                    .map(|j| (i as u8).wrapping_add(j as u8).wrapping_mul(13))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cdc_import_reads_back_identically_to_fixed() {
+        let bs = 512;
+        let n = 24;
+        let blocks = patterned(bs, n, 3);
+        let len = (n * bs) as u64;
+        let mut fixed = pool(bs);
+        fixed.import_file("img", blocks.iter().cloned(), len);
+        let mut cdc = cdc_pool(bs);
+        cdc.import_file("img", blocks.iter().cloned(), len);
+        for i in 0..n as u64 {
+            assert_eq!(cdc.read_block("img", i), fixed.read_block("img", i), "block {i}");
+            assert_eq!(
+                cdc.read_block_shared("img", i).as_deref(),
+                fixed.read_block_shared("img", i).as_deref(),
+                "shared block {i}"
+            );
+        }
+        assert!(cdc.check_refcounts());
+        // Chunked lifecycle: snapshot, delete, destroy all balance.
+        cdc.snapshot("s");
+        cdc.delete_file("img");
+        assert!(cdc.check_refcounts());
+        cdc.destroy_snapshot("s");
+        assert_eq!(cdc.stats().unique_blocks, 0);
+    }
+
+    #[test]
+    fn cdc_hole_blocks_share_the_zero_buffer() {
+        // A gap between sparse runs is a true hole (no chunk covers it);
+        // its shared read hands out the pool's one zero buffer. Zero blocks
+        // *inside* a run may be swallowed by a larger chunk — those still
+        // read as zeros, just not through the shared fast path.
+        let bs = 512;
+        let mut cdc = cdc_pool(bs);
+        cdc.import_blocks_parallel("img", &[(0u64, vec![7u8; bs]), (4, vec![9u8; bs])]);
+        let hole = cdc.read_block_shared("img", 2).expect("file");
+        assert!(Arc::ptr_eq(&hole, &cdc.zero_block_shared()), "holes share one buffer");
+        assert_eq!(cdc.read_block("img", 0).expect("file"), vec![7u8; bs]);
+        assert_eq!(cdc.read_block("img", 2).expect("file"), vec![0u8; bs]);
+        assert_eq!(cdc.read_block("img", 4).expect("file"), vec![9u8; bs]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunked files are import-only")]
+    fn write_block_on_chunked_file_panics() {
+        let bs = 512;
+        let mut cdc = cdc_pool(bs);
+        cdc.import_file("img", vec![vec![5u8; bs]].into_iter(), bs as u64);
+        cdc.write_block("img", 0, &vec![6u8; bs]);
+    }
+
+    #[test]
+    fn file_scatter_counts_extents_and_gaps() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.write_block("a", 0, &block(512, 1));
+        p.write_block("a", 1, &block(512, 2));
+        let s = p.file_scatter("a").expect("file");
+        assert_eq!(s.records, 2);
+        assert_eq!(s.extents, 1, "back-to-back allocation is one extent");
+        assert_eq!(s.mean_gap_bytes, 0.0);
+        // An interleaving allocation from another file fragments "a".
+        p.create_file("b");
+        p.write_block("b", 0, &block(512, 3));
+        p.write_block("a", 2, &block(512, 4));
+        let s = p.file_scatter("a").expect("file");
+        assert_eq!(s.records, 3);
+        assert_eq!(s.extents, 2);
+        assert!(s.mean_gap_bytes > 0.0);
+        assert!(s.span_bytes > s.data_bytes, "gap stretches the span");
+        assert!(p.file_scatter("nope").is_none());
+        assert!((p.mean_file_extents() - 1.5).abs() < 1e-9, "(2 + 1) / 2 files");
+    }
+
+    #[test]
+    fn reverse_pass_makes_interleaved_file_sequential() {
+        let mut p = pool(512);
+        p.create_file("a");
+        p.create_file("b");
+        for i in 0..4u64 {
+            p.write_block("a", i, &block(512, 10 + i as u8));
+            p.write_block("b", i, &block(512, 20 + i as u8));
+        }
+        assert!(p.file_scatter("b").expect("file").extents > 1, "interleaved");
+        p.snapshot("s1");
+        let before: Vec<Vec<u8>> =
+            (0..4).map(|i| p.read_block("b", i).expect("file")).collect();
+        let phys_before = p.stats().physical_bytes;
+
+        let report = p.reverse_dedup_pass("b").expect("file");
+        assert!(report.extents_after < report.extents_before);
+        assert_eq!(report.keys_rewritten, 4);
+        assert_eq!(p.file_scatter("b").expect("file").extents, 1, "fully sequential");
+        // Content, refcounts, and physical accounting are untouched.
+        for i in 0..4u64 {
+            assert_eq!(p.read_block("b", i).expect("file"), before[i as usize]);
+            assert_eq!(p.read_block("a", i).expect("file"), block(512, 10 + i as u8));
+        }
+        assert_eq!(p.stats().physical_bytes, phys_before, "holes, not growth");
+        assert!(p.check_refcounts());
+        assert!(p.reverse_dedup_pass("nope").is_none());
+    }
+
+    #[test]
+    fn reverse_mode_import_lands_sequential() {
+        use crate::config::DedupMode;
+        let mut p = ZPool::new(
+            PoolConfig::new(512, Codec::Lzjb).with_dedup_mode(DedupMode::Reverse),
+        );
+        let v1: Vec<Vec<u8>> = (0..6).map(|i| block(512, 1 + i as u8)).collect();
+        p.import_file("v1", v1.iter().cloned(), 6 * 512);
+        p.snapshot("s1");
+        // v2 shares half of v1's blocks — scattered under forward dedup,
+        // sequential after the import's trailing reverse pass.
+        let v2: Vec<Vec<u8>> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    block(512, 1 + i as u8)
+                } else {
+                    block(512, 100 + i as u8)
+                }
+            })
+            .collect();
+        p.import_file("v2", v2.iter().cloned(), 6 * 512);
+        assert_eq!(p.file_scatter("v2").expect("file").extents, 1);
+        for (i, b) in v2.iter().enumerate() {
+            assert_eq!(p.read_block("v2", i as u64).expect("file"), *b);
+        }
+        assert!(p.check_refcounts());
+    }
 }
 
 #[cfg(test)]
@@ -808,6 +1250,89 @@ mod proptests {
             for (idx, fill) in model {
                 prop_assert_eq!(p.read_block("f", idx as u64).expect("file"), vec![fill; 512]);
             }
+        }
+
+        /// Differential: the same corpus imported under fixed and CDC
+        /// chunking must read back byte-identically at every block, through
+        /// both the owned and shared read paths.
+        #[test]
+        fn cdc_reads_match_fixed_reads(
+            specs in proptest::collection::vec((0u8..4, any::<u8>()), 1..24)
+        ) {
+            use squirrel_hash::cdc::{CdcParams, ChunkStrategy};
+            let bs = 512usize;
+            let blocks: Vec<Vec<u8>> = specs
+                .iter()
+                .map(|&(kind, fill)| match kind {
+                    0 => vec![0u8; bs],
+                    1 => vec![fill; bs],
+                    2 => (0..bs).map(|j| (j as u8).wrapping_mul(fill | 1)).collect(),
+                    _ => (0..bs).map(|j| fill.wrapping_add(j as u8)).collect(),
+                })
+                .collect();
+            let len = (blocks.len() * bs) as u64;
+            let mut fixed = ZPool::new(PoolConfig::new(bs, Codec::Lz4));
+            fixed.import_file("f", blocks.iter().cloned(), len);
+            let mut cdc = ZPool::new(
+                PoolConfig::new(bs, Codec::Lz4)
+                    .with_chunking(ChunkStrategy::Cdc(CdcParams::with_average(1024))),
+            );
+            cdc.import_file("f", blocks.iter().cloned(), len);
+            for i in 0..blocks.len() as u64 {
+                prop_assert_eq!(cdc.read_block("f", i), fixed.read_block("f", i));
+                prop_assert_eq!(
+                    cdc.read_block_shared("f", i).as_deref().map(<[u8]>::to_vec),
+                    fixed.read_block_shared("f", i).as_deref().map(<[u8]>::to_vec)
+                );
+            }
+            prop_assert!(cdc.check_refcounts());
+        }
+
+        /// Differential: a reverse-dedup pass changes *placement only* —
+        /// every file and snapshot reads back identically, refcounts and
+        /// physical accounting are untouched, and the relocated file's
+        /// extent count never grows.
+        #[test]
+        fn reverse_pass_preserves_content_and_never_fragments(
+            specs in proptest::collection::vec((0u8..3, any::<u8>(), any::<bool>()), 2..24)
+        ) {
+            let bs = 512usize;
+            let mut p = ZPool::new(PoolConfig::new(bs, Codec::Lzjb));
+            p.create_file("old");
+            p.create_file("new");
+            // Interleave writes so "new" picks up scattered shared extents.
+            for (i, &(kind, fill, share)) in specs.iter().enumerate() {
+                let b: Vec<u8> = match kind {
+                    0 => vec![fill | 1; bs],
+                    1 => (0..bs).map(|j| fill.wrapping_add(j as u8) | 1).collect(),
+                    _ => (0..bs).map(|j| (j as u8).wrapping_mul(fill | 1) | 1).collect(),
+                };
+                p.write_block("old", i as u64, &b);
+                if share {
+                    p.write_block("new", i as u64, &b);
+                } else {
+                    p.write_block("new", i as u64, &vec![(fill ^ 0xa5) | 1; bs]);
+                }
+            }
+            p.snapshot("s1");
+            let n = specs.len() as u64;
+            let read_all = |p: &ZPool, name: &str| -> Vec<Vec<u8>> {
+                (0..n).map(|i| p.read_block(name, i).expect("file")).collect()
+            };
+            let old_before = read_all(&p, "old");
+            let new_before = read_all(&p, "new");
+            let phys_before = p.stats().physical_bytes;
+            let extents_before = p.file_scatter("new").expect("file").extents;
+
+            let report = p.reverse_dedup_pass("new").expect("file");
+
+            prop_assert_eq!(report.extents_before, extents_before);
+            prop_assert!(report.extents_after <= extents_before);
+            prop_assert_eq!(read_all(&p, "old"), old_before);
+            prop_assert_eq!(read_all(&p, "new"), new_before);
+            prop_assert_eq!(p.stats().physical_bytes, phys_before);
+            prop_assert!(p.check_refcounts());
+            prop_assert!(p.scrub().is_clean());
         }
     }
 }

@@ -34,14 +34,13 @@ impl ZPool {
     /// Walk every unique record, decompress it, and verify its digest
     /// matches its dedup key. Requires a data-retaining pool.
     pub fn scrub(&self) -> ScrubReport {
-        let bs = self.block_size();
         let mut report = ScrubReport::default();
         for (key, entry) in self.ddt().iter() {
             let frame = entry
                 .data
                 .as_ref()
                 .expect("scrub requires a data-retaining pool");
-            let data = decompress(frame, bs);
+            let data = decompress(frame, entry.lsize as usize);
             report.blocks_checked += 1;
             report.bytes_verified += data.len() as u64;
             if ContentHash::of(&data).short() != *key {
@@ -60,12 +59,14 @@ impl ZPool {
     /// follows the garbage record's size, as it would on a real disk.
     /// Returns `false` if the key is not present.
     pub fn inject_corruption(&mut self, key: BlockKey) -> bool {
-        if self.ddt().get(&key).is_none() {
+        let Some(entry) = self.ddt().get(&key) else {
             return false;
-        }
-        let bs = self.block_size();
+        };
+        // Garbage of the record's own logical size so the scrub walk
+        // decompresses it at the right length (CDC records vary).
+        let lsize = entry.lsize as usize;
         // Deterministic garbage derived from the key.
-        let mut garbage = vec![0u8; bs];
+        let mut garbage = vec![0u8; lsize];
         for (i, b) in garbage.iter_mut().enumerate() {
             *b = (key as u8).wrapping_add(i as u8).wrapping_mul(31) | 1;
         }
@@ -100,10 +101,10 @@ impl ZPool {
     /// source that is itself corrupt is rejected. Returns `true` when the
     /// block was repaired.
     pub fn repair_block(&mut self, key: BlockKey, psize: u32, frame: &SharedPayload) -> bool {
-        if self.ddt().get(&key).is_none() {
+        let Some(entry) = self.ddt().get(&key) else {
             return false;
-        }
-        let data = decompress(frame, self.block_size());
+        };
+        let data = decompress(frame, entry.lsize as usize);
         if ContentHash::of(&data).short() != key {
             return false;
         }
@@ -115,12 +116,11 @@ impl ZPool {
     /// runs this before trusting a local cache; it is a per-file slice of
     /// [`scrub`](Self::scrub).
     pub fn file_is_intact(&self, name: &str) -> Option<bool> {
-        let bs = self.block_size();
         let table = self.files().get(name)?;
-        for key in table.ptrs.iter().copied().flatten() {
+        for key in table.iter_keys() {
             let entry = self.ddt().get(&key).expect("dangling block pointer");
             let frame = entry.data.as_ref().expect("intact check requires data");
-            if ContentHash::of(&decompress(frame, bs)).short() != key {
+            if ContentHash::of(&decompress(frame, entry.lsize as usize)).short() != key {
                 return Some(false);
             }
         }
@@ -242,6 +242,42 @@ mod tests {
         holey.create_file("h");
         holey.write_block("h", 2, &vec![0u8; 512]);
         assert_eq!(holey.file_is_intact("h"), Some(true), "holes are intact");
+    }
+
+    #[test]
+    fn cdc_pool_scrubs_injects_and_repairs_at_chunk_lsize() {
+        use crate::config::ChunkStrategy;
+        use squirrel_hash::cdc::CdcParams;
+        let bs = 512;
+        let mut p = ZPool::new(
+            PoolConfig::new(bs, Codec::Lzjb)
+                .with_chunking(ChunkStrategy::Cdc(CdcParams::with_average(1024))),
+        );
+        let blocks: Vec<Vec<u8>> = (0..12)
+            .map(|i| (0..bs).map(|j| ((i * 29 + j * 7) % 249) as u8).collect())
+            .collect();
+        p.import_file_parallel("img", &blocks, 12 * bs as u64);
+        assert!(p.scrub().is_clean(), "variable-size records verify at their lsize");
+        assert_eq!(p.file_is_intact("img"), Some(true));
+
+        let key = p.corrupt_nth_block(5).expect("victim chunk");
+        assert_eq!(p.scrub().corrupt, vec![key]);
+        assert_eq!(p.file_is_intact("img"), Some(false));
+
+        let donor = {
+            let mut d = ZPool::new(
+                PoolConfig::new(bs, Codec::Lzjb)
+                    .with_chunking(ChunkStrategy::Cdc(CdcParams::with_average(1024))),
+            );
+            d.import_file_parallel("img", &blocks, 12 * bs as u64);
+            d
+        };
+        let (psize, frame) = donor.payload_of(key).expect("donor payload");
+        assert!(p.repair_block(key, psize, &frame));
+        assert!(p.scrub().is_clean());
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(p.read_block("img", i as u64).expect("file"), *b);
+        }
     }
 
     #[test]

@@ -90,13 +90,13 @@ impl ShardedDedupTable {
         }
     }
 
-    /// Add one reference to `key`, inserting a fresh entry (with `psize` and
-    /// optional payload produced by `make`) when the block is new. Returns
-    /// `true` when the block was new.
+    /// Add one reference to `key`, inserting a fresh entry (with
+    /// `(psize, lsize, payload)` produced by `make`) when the block is new.
+    /// Returns `true` when the block was new.
     pub fn add_ref(
         &mut self,
         key: BlockKey,
-        make: impl FnOnce() -> (u32, Option<SharedPayload>),
+        make: impl FnOnce() -> (u32, u32, Option<SharedPayload>),
     ) -> bool {
         match self.shards[Self::shard_of(key)].entry(key) {
             std::collections::hash_map::Entry::Occupied(mut o) => {
@@ -104,11 +104,11 @@ impl ShardedDedupTable {
                 false
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                let (psize, data) = make();
+                let (psize, lsize, data) = make();
                 let phys = self.alloc_cursor;
                 self.alloc_cursor += psize as u64;
                 self.physical_bytes += psize as u64;
-                v.insert(DdtEntry { refcount: 1, psize, phys, data });
+                v.insert(DdtEntry { refcount: 1, psize, lsize, phys, data });
                 true
             }
         }
@@ -149,6 +149,17 @@ impl ShardedDedupTable {
         true
     }
 
+    /// Relocate `key`'s block to a fresh extent at the (global) allocation
+    /// cursor; see [`DedupTable::reassign_phys`](crate::ddt::DedupTable::reassign_phys)
+    /// for semantics. Returns `(old_phys, psize)`, or `None` when absent.
+    pub fn reassign_phys(&mut self, key: &BlockKey) -> Option<(u64, u32)> {
+        let entry = self.shards[Self::shard_of(*key)].get_mut(key)?;
+        let old = entry.phys;
+        entry.phys = self.alloc_cursor;
+        self.alloc_cursor += entry.psize as u64;
+        Some((old, entry.psize))
+    }
+
     /// Sum of all refcounts (diagnostic; equals the number of live block
     /// pointers across files and snapshots).
     pub fn total_refs(&self) -> u64 {
@@ -172,8 +183,8 @@ mod tests {
     use super::*;
     use crate::ddt::DedupTable;
 
-    fn payload(n: u32) -> impl FnOnce() -> (u32, Option<SharedPayload>) {
-        move || (n, Some(vec![0xabu8; n as usize].into()))
+    fn payload(n: u32) -> impl FnOnce() -> (u32, u32, Option<SharedPayload>) {
+        move || (n, n, Some(vec![0xabu8; n as usize].into()))
     }
 
     #[test]
@@ -230,6 +241,8 @@ mod tests {
         use super::tests_support::differential_ops;
         differential_ops(&[(0, 1, 10), (0, 17, 20), (0, 1, 10), (2, 1, 1), (0, 33, 5)]);
         differential_ops(&[(0, 5, 8), (2, 5, 1), (0, 5, 8), (0, 21, 8), (2, 5, 1)]);
+        // Reverse-dedup relocation (op 3) interleaved with the others.
+        differential_ops(&[(0, 1, 10), (0, 17, 20), (3, 1, 0), (0, 33, 5), (3, 99, 0)]);
     }
 
     #[test]
@@ -266,7 +279,7 @@ mod proptests {
         #[test]
         fn sharded_matches_serial(
             ops in proptest::collection::vec(
-                (0u8..3, 0u128..48, 1u32..256),
+                (0u8..4, 0u128..48, 1u32..256),
                 1..200,
             )
         ) {
@@ -285,27 +298,30 @@ mod tests_support {
         let mut serial = DedupTable::new();
         let mut sharded = ShardedDedupTable::new();
         for &(op, key, size) in ops {
-            let mk = move || (size, Some(vec![0x5au8; size as usize].into()));
-            match op % 3 {
+            let mk = move || (size, size, Some(vec![0x5au8; size as usize].into()));
+            match op % 4 {
                 0 | 1 => {
                     assert_eq!(serial.add_ref(key, mk), sharded.add_ref(key, mk));
                 }
-                _ => {
+                2 => {
                     if serial.get(&key).is_some() {
                         assert_eq!(serial.release(&key), sharded.release(&key));
                     }
+                }
+                _ => {
+                    assert_eq!(serial.reassign_phys(&key), sharded.reassign_phys(&key));
                 }
             }
             assert_eq!(serial.len(), sharded.len());
             assert_eq!(serial.physical_bytes(), sharded.physical_bytes());
         }
-        let mut a: Vec<(BlockKey, u64, u32, u64)> = serial
+        let mut a: Vec<(BlockKey, u64, u32, u32, u64)> = serial
             .iter()
-            .map(|(k, e)| (*k, e.refcount, e.psize, e.phys))
+            .map(|(k, e)| (*k, e.refcount, e.psize, e.lsize, e.phys))
             .collect();
-        let mut b: Vec<(BlockKey, u64, u32, u64)> = sharded
+        let mut b: Vec<(BlockKey, u64, u32, u32, u64)> = sharded
             .iter()
-            .map(|(k, e)| (*k, e.refcount, e.psize, e.phys))
+            .map(|(k, e)| (*k, e.refcount, e.psize, e.lsize, e.phys))
             .collect();
         a.sort_unstable();
         b.sort_unstable();

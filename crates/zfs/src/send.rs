@@ -10,7 +10,7 @@
 //! offline-propagation logic of Section 3.5.
 
 use crate::ddt::{BlockKey, SharedPayload};
-use crate::pool::{FileTable, Snapshot, ZPool};
+use crate::pool::{CdcChunk, FileTable, Snapshot, ZPool};
 use squirrel_compress::decompress;
 use squirrel_hash::par::WorkerPool;
 use squirrel_hash::ContentHash;
@@ -49,7 +49,25 @@ pub struct SendStream {
 #[derive(Clone, Debug)]
 pub struct FileMeta {
     pub ptrs: Arc<Vec<Option<BlockKey>>>,
+    /// Content-defined chunk table for CDC-imported files; `None` for
+    /// block-addressed files. Shared with the sender's snapshot, like
+    /// `ptrs`.
+    pub chunks: Option<Arc<Vec<CdcChunk>>>,
     pub len: u64,
+}
+
+impl FileMeta {
+    /// Every referenced block key, with multiplicity (mirrors
+    /// `FileTable::iter_keys`).
+    fn iter_keys(&self) -> impl Iterator<Item = BlockKey> + '_ {
+        self.ptrs.iter().copied().flatten().chain(
+            self.chunks
+                .as_deref()
+                .into_iter()
+                .flatten()
+                .map(|c| c.key),
+        )
+    }
 }
 
 /// Errors from [`ZPool::send_between`].
@@ -104,6 +122,15 @@ impl std::error::Error for RecvError {}
 const WIRE_PTR_BYTES: u64 = 18; // key prefix + flags
 const WIRE_FILE_OVERHEAD: u64 = 64;
 const WIRE_BLOCK_HEADER: u64 = 24;
+/// One CDC chunk record: 16-byte key + 8-byte logical offset + 4-byte length.
+const WIRE_CHUNK_BYTES: u64 = 28;
+
+/// Upsert pointer-count sentinel marking a CDC chunk table instead of a
+/// block-pointer vector. A real pointer vector of 2^32 - 1 entries would be
+/// a multi-terabyte file table, far past anything the encoder produces, so
+/// fixed-mode streams never emit this value and their encoding is
+/// byte-identical to the pre-CDC format (pinned by the golden test).
+const CHUNKED_SENTINEL: u32 = u32::MAX;
 
 /// Errors from [`SendStream::decode`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -203,14 +230,27 @@ impl SendStream {
         for (name, meta) in &self.upserts {
             put_string(&mut out, name);
             out.extend_from_slice(&meta.len.to_le_bytes());
-            out.extend_from_slice(&(meta.ptrs.len() as u32).to_le_bytes());
-            for p in meta.ptrs.iter() {
-                match p {
-                    Some(key) => {
-                        out.push(1);
-                        out.extend_from_slice(&key.to_le_bytes());
+            match &meta.chunks {
+                Some(chunks) => {
+                    out.extend_from_slice(&CHUNKED_SENTINEL.to_le_bytes());
+                    out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+                    for c in chunks.iter() {
+                        out.extend_from_slice(&c.key.to_le_bytes());
+                        out.extend_from_slice(&c.logical_off.to_le_bytes());
+                        out.extend_from_slice(&c.len.to_le_bytes());
                     }
-                    None => out.push(0),
+                }
+                None => {
+                    out.extend_from_slice(&(meta.ptrs.len() as u32).to_le_bytes());
+                    for p in meta.ptrs.iter() {
+                        match p {
+                            Some(key) => {
+                                out.push(1);
+                                out.extend_from_slice(&key.to_le_bytes());
+                            }
+                            None => out.push(0),
+                        }
+                    }
                 }
             }
         }
@@ -256,15 +296,35 @@ impl SendStream {
         for _ in 0..n_upserts {
             let name = r.string()?;
             let len = r.u64()?;
-            let n_ptrs = r.u32()? as usize;
-            let mut ptrs = Vec::with_capacity(n_ptrs.min(r.remaining()));
-            for _ in 0..n_ptrs {
-                ptrs.push(match r.u8()? {
-                    0 => None,
-                    _ => Some(r.u128()?),
-                });
+            let n_ptrs = r.u32()?;
+            if n_ptrs == CHUNKED_SENTINEL {
+                let n_chunks = r.u32()? as usize;
+                let mut chunks = Vec::with_capacity(n_chunks.min(r.remaining()));
+                for _ in 0..n_chunks {
+                    let key = r.u128()?;
+                    let logical_off = r.u64()?;
+                    let clen = r.u32()?;
+                    chunks.push(CdcChunk { key, logical_off, len: clen });
+                }
+                upserts.push((
+                    name,
+                    FileMeta {
+                        ptrs: Arc::new(Vec::new()),
+                        chunks: Some(Arc::new(chunks)),
+                        len,
+                    },
+                ));
+            } else {
+                let n_ptrs = n_ptrs as usize;
+                let mut ptrs = Vec::with_capacity(n_ptrs.min(r.remaining()));
+                for _ in 0..n_ptrs {
+                    ptrs.push(match r.u8()? {
+                        0 => None,
+                        _ => Some(r.u128()?),
+                    });
+                }
+                upserts.push((name, FileMeta { ptrs: Arc::new(ptrs), chunks: None, len }));
             }
-            upserts.push((name, FileMeta { ptrs: Arc::new(ptrs), len }));
         }
 
         let n_deletes = r.u32()? as usize;
@@ -336,7 +396,10 @@ impl SendStream {
             .upserts
             .iter()
             .map(|(name, meta)| {
-                name.len() as u64 + WIRE_FILE_OVERHEAD + meta.ptrs.len() as u64 * WIRE_PTR_BYTES
+                let records = meta.ptrs.len() as u64 * WIRE_PTR_BYTES
+                    + meta.chunks.as_deref().map(|c| c.len() as u64).unwrap_or(0)
+                        * WIRE_CHUNK_BYTES;
+                name.len() as u64 + WIRE_FILE_OVERHEAD + records
             })
             .sum();
         let deletes: u64 = self.deletes.iter().map(|n| n.len() as u64 + 8).sum();
@@ -346,6 +409,29 @@ impl SendStream {
     /// Number of payload blocks.
     pub fn payload_blocks(&self) -> usize {
         self.payload.len()
+    }
+
+    /// Logical size of every block the stream's upsert tables reference:
+    /// chunk records carry their length on the wire; block pointers are the
+    /// pool record size. Payload validation and DDT staging both need this
+    /// because CDC frames decompress to variable lengths.
+    fn referenced_lsizes(&self, block_size: u32) -> BTreeMap<BlockKey, u32> {
+        let mut sizes = BTreeMap::new();
+        for (_, meta) in &self.upserts {
+            match meta.chunks.as_deref() {
+                Some(chunks) => {
+                    for c in chunks {
+                        sizes.insert(c.key, c.len);
+                    }
+                }
+                None => {
+                    for key in meta.ptrs.iter().copied().flatten() {
+                        sizes.insert(key, block_size);
+                    }
+                }
+            }
+        }
+        sizes
     }
 
     /// Apply this stream to many independent pools concurrently (the
@@ -435,7 +521,7 @@ impl ZPool {
         // Blocks the receiver already has: everything referenced at base.
         let base_keys: BTreeSet<BlockKey> = base_files
             .values()
-            .flat_map(|t| t.ptrs.iter().copied().flatten())
+            .flat_map(|t| t.iter_keys())
             .collect();
 
         let mut upserts = Vec::new();
@@ -445,12 +531,16 @@ impl ZPool {
             if unchanged {
                 continue;
             }
-            // Shares the snapshot's pointer vector (refcount bump).
+            // Shares the snapshot's pointer/chunk vectors (refcount bumps).
             upserts.push((
                 name.clone(),
-                FileMeta { ptrs: Arc::clone(&table.ptrs), len: table.len },
+                FileMeta {
+                    ptrs: Arc::clone(&table.ptrs),
+                    chunks: table.chunks.clone(),
+                    len: table.len,
+                },
             ));
-            for key in table.ptrs.iter().copied().flatten() {
+            for key in table.iter_keys() {
                 if !base_keys.contains(&key) {
                     payload_keys.insert(key);
                 }
@@ -525,17 +615,19 @@ impl ZPool {
             }
         }
         let bs = self.block_size();
+        let lsizes = stream.referenced_lsizes(bs as u32);
         let mut incoming: BTreeSet<BlockKey> = BTreeSet::new();
         for b in &stream.payload {
             if let Some(frame) = &b.data {
-                if ContentHash::of(&decompress(frame, bs)).short() != b.key {
+                let lsize = lsizes.get(&b.key).copied().unwrap_or(bs as u32) as usize;
+                if ContentHash::of(&decompress(frame, lsize)).short() != b.key {
                     return Err(RecvError::CorruptPayload(b.key));
                 }
             }
             incoming.insert(b.key);
         }
         for (_, meta) in &stream.upserts {
-            for key in meta.ptrs.iter().copied().flatten() {
+            for key in meta.iter_keys() {
                 if !incoming.contains(&key) && self.ddt().get(&key).is_none() {
                     return Err(RecvError::MissingBlock(key));
                 }
@@ -552,11 +644,14 @@ impl ZPool {
 
         // Ingest payload blocks first so pointer installation always finds
         // its targets in the DDT.
+        let lsizes = stream.referenced_lsizes(self.block_size() as u32);
         for b in &stream.payload {
             // add_ref with an initial "staging" reference; released after the
             // tables are installed so unreferenced payload doesn't leak.
+            let bs = self.block_size() as u32;
+            let lsize = lsizes.get(&b.key).copied().unwrap_or(bs);
             let (psize, data) = (b.psize, b.data.clone());
-            self.ddt_mut().add_ref(b.key, || (psize, data));
+            self.ddt_mut().add_ref(b.key, || (psize, lsize, data));
         }
 
         for name in &stream.deletes {
@@ -564,13 +659,13 @@ impl ZPool {
         }
         for (name, meta) in &stream.upserts {
             self.delete_file(name);
-            for key in meta.ptrs.iter().flatten() {
+            for key in meta.iter_keys() {
                 self.ddt_mut()
-                    .add_ref(*key, || unreachable!("validated stream resolves every block"));
+                    .add_ref(key, || unreachable!("validated stream resolves every block"));
             }
             self.files_mut().insert(
                 name.clone(),
-                FileTable { ptrs: meta.ptrs.clone(), len: meta.len },
+                FileTable { ptrs: meta.ptrs.clone(), chunks: meta.chunks.clone(), len: meta.len },
             );
         }
 
@@ -582,8 +677,8 @@ impl ZPool {
         // Mirror the sender's tip snapshot.
         let snap = Snapshot { tag: stream.tip.clone(), files: self.files().clone() };
         for table in snap.files.values() {
-            for key in table.ptrs.iter().flatten() {
-                self.ddt_mut().add_ref(*key, || unreachable!("live block"));
+            for key in table.iter_keys() {
+                self.ddt_mut().add_ref(key, || unreachable!("live block"));
             }
         }
         self.push_snapshot(snap);
@@ -1100,6 +1195,50 @@ mod tests {
         let results = stream.apply_all_on(vec![&mut good, &mut dup], &workers);
         assert!(results[0].is_ok());
         assert_eq!(results[1], Err(RecvError::DuplicateTip("s1".to_string())));
+    }
+
+    #[test]
+    fn cdc_streams_roundtrip_and_replicate() {
+        use crate::config::ChunkStrategy;
+        use squirrel_hash::cdc::CdcParams;
+        let bs = 512;
+        let cfg = || {
+            PoolConfig::new(bs, Codec::Lzjb)
+                .with_chunking(ChunkStrategy::Cdc(CdcParams::with_average(1024)))
+        };
+        let mut src = ZPool::new(cfg());
+        let blocks: Vec<Vec<u8>> = (0..16)
+            .map(|i| (0..bs).map(|j| ((i * 37 + j * 11) % 251) as u8).collect())
+            .collect();
+        src.import_file_parallel("img", &blocks, 16 * bs as u64);
+        src.snapshot("s1");
+        let stream = src.send_between(None, "s1").expect("send");
+        assert!(stream.upserts[0].1.chunks.is_some(), "chunk table on the wire");
+        // The chunk table survives the binary wire format exactly.
+        let decoded = SendStream::decode(&stream.encode()).expect("decode");
+        assert_eq!(
+            decoded.upserts[0].1.chunks.as_deref(),
+            stream.upserts[0].1.chunks.as_deref()
+        );
+        let mut dst = ZPool::new(cfg());
+        dst.recv(&decoded).expect("recv");
+        for i in 0..16u64 {
+            assert_eq!(dst.read_block("img", i), src.read_block("img", i), "block {i}");
+        }
+        assert!(dst.check_refcounts());
+        assert!(dst.scrub().is_clean(), "receiver DDT carries correct lsizes");
+        // An incremental on top: re-import with a shifted prefix, send s1→s2.
+        let mut v2 = vec![vec![9u8; bs]];
+        v2.extend(blocks[..15].iter().cloned());
+        src.import_file_parallel("img", &v2, 16 * bs as u64);
+        src.snapshot("s2");
+        let inc = src.send_between(Some("s1"), "s2").expect("inc");
+        let inc = SendStream::decode(&inc.encode()).expect("decode");
+        dst.recv(&inc).expect("recv inc");
+        for i in 0..16u64 {
+            assert_eq!(dst.read_block("img", i), src.read_block("img", i), "v2 block {i}");
+        }
+        assert!(dst.check_refcounts());
     }
 
     #[test]

@@ -63,6 +63,23 @@ grep -q '"deterministic_across_threads": true' results/BENCH_chaos.json
 # Chaos actually happened: the plan injected a nonzero number of faults.
 grep -Eq '"faults_injected": [1-9]' results/BENCH_chaos.json
 
+echo "== topology / erasure-coding bench (release, pinned seed) =="
+rm -f results/BENCH_topology.json
+cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \
+    topology --images 8 --scale 8192 --seed 2014 > /dev/null
+test -f results/BENCH_topology.json
+# The erasure-coded shared tier must ride out a whole-rack loss (every
+# object readable byte-for-byte through parity reconstruction) and scrub
+# back to clean by re-homing shards across racks; the multi-rack chaos
+# soak must converge scrub-clean and replay bit-identically at every
+# thread count, with at least one correlated domain outage injected.
+grep -q '"ec_survives_rack_loss": true' results/BENCH_topology.json
+grep -q '"converged": true' results/BENCH_topology.json
+grep -q '"scrub_clean": true' results/BENCH_topology.json
+grep -q '"deterministic_across_threads": true' results/BENCH_topology.json
+grep -Eq '"rack_outages": [1-9]' results/BENCH_topology.json
+grep -Eq '"ec_repair_bytes": [1-9]' results/BENCH_topology.json
+
 echo "== hoard-budget sweep smoke (release, pinned seed) =="
 rm -f results/BENCH_budget.json
 cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \

@@ -12,4 +12,5 @@ pub mod ingest;
 pub mod network;
 pub mod storage;
 pub mod sweeps;
+pub mod topology;
 pub mod whatif;

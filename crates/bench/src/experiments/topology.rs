@@ -1,0 +1,423 @@
+//! Topology bench: flat replication versus erasure coding on a multi-rack
+//! cluster, under node, rack and datacenter loss.
+//!
+//! Two parts:
+//!
+//! 1. A **scenario sweep** at the volume layer. The same 4-rack / 2-DC
+//!    cluster hosts both shared-storage designs — the paper's replicated
+//!    gluster volume (2×2, one brick per rack) and the erasure-coded
+//!    `ErasureCodedVolume` (k+m Reed–Solomon shards placed across distinct
+//!    racks). Each design writes the same objects, then a failure domain is
+//!    cut (nothing / one storage node / one rack / one datacenter) and every
+//!    object is read back from a compute client: availability is the
+//!    fraction of objects still readable, degraded reads count parity
+//!    reconstructions, and the EC scrub pass reports how many repair bytes
+//!    crossed a rack boundary to re-home stranded shards.
+//! 2. An **EC chaos soak**: `chaos_soak` on the multi-rack topology with
+//!    rack/DC outages armed in the fault plan and the shared tier erasure
+//!    coded. The soak must converge to a consistent, scrub-clean state and
+//!    replay bit-identically at every thread count.
+//!
+//! Results land in `results/BENCH_topology.json`; `ci.sh` gates on
+//! `"converged": true` and `"ec_survives_rack_loss": true`.
+
+use crate::config::ExperimentConfig;
+use crate::csvout::fmt_f;
+use crate::experiments::bootstorm::thread_sweep;
+use squirrel_cluster::{
+    EcConfig, ErasureCodedVolume, GlusterConfig, GlusterVolume, LinkKind, Network, NodeId,
+    TopologyConfig,
+};
+use squirrel_core::{chaos_soak, ChaosConfig, ChaosReport, FaultConfig, SharedStorage};
+
+/// Compute nodes of the scenario cluster.
+pub const TOPO_COMPUTE: u32 = 4;
+/// Storage nodes of the scenario cluster (two per rack).
+pub const TOPO_STORAGE: u32 = 8;
+/// Erasure geometry under test.
+pub const EC_K: u32 = 4;
+pub const EC_M: u32 = 2;
+/// Objects written per scenario.
+const OBJECTS: usize = 6;
+/// Soak length in simulated days.
+pub const TOPO_SOAK_DAYS: u64 = 14;
+
+fn topo() -> TopologyConfig {
+    TopologyConfig { regions: 1, dcs_per_region: 2, racks_per_dc: 2 }
+}
+
+fn fresh_net() -> Network {
+    Network::with_topology(LinkKind::GbE, TOPO_COMPUTE, TOPO_STORAGE, topo())
+}
+
+fn storage_ids() -> Vec<NodeId> {
+    (TOPO_COMPUTE..TOPO_COMPUTE + TOPO_STORAGE).collect()
+}
+
+/// Deterministic object payload (seed- and index-dependent, spans one to
+/// two EC stripes so padding and multi-stripe paths are both exercised).
+fn object_bytes(seed: u64, i: usize) -> Vec<u8> {
+    let len = 160 * 1024 + i * 40 * 1024 + i * 13;
+    let mut state = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Which failure domain a scenario cuts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loss {
+    None,
+    /// One storage node cut from every peer.
+    Node,
+    /// One whole rack down.
+    Rack,
+    /// One whole datacenter down.
+    Datacenter,
+}
+
+impl Loss {
+    pub const ALL: [Loss; 4] = [Loss::None, Loss::Node, Loss::Rack, Loss::Datacenter];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Loss::None => "none",
+            Loss::Node => "node",
+            Loss::Rack => "rack",
+            Loss::Datacenter => "datacenter",
+        }
+    }
+
+    /// Cut the domain. The victim is always picked around the *last*
+    /// storage node, so the coordinator (first storage node, rack 0, DC 0)
+    /// and the reading client (compute node 0) stay up in every scenario.
+    fn apply(self, net: &mut Network) {
+        let victim = TOPO_COMPUTE + TOPO_STORAGE - 1;
+        match self {
+            Loss::None => {}
+            Loss::Node => {
+                for peer in 0..TOPO_COMPUTE + TOPO_STORAGE {
+                    if peer != victim {
+                        net.partition(victim, peer);
+                    }
+                }
+            }
+            Loss::Rack => {
+                let rack = net.topology().rack_of(victim);
+                net.rack_down(rack);
+            }
+            Loss::Datacenter => {
+                let dc = net.topology().datacenter_of(victim);
+                net.datacenter_down(dc);
+            }
+        }
+    }
+}
+
+/// One (design, scenario) cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    pub mode: &'static str,
+    pub loss: Loss,
+    pub objects: usize,
+    pub available: usize,
+    pub degraded_reads: u64,
+    pub repair_bytes: u64,
+    pub cross_domain_repair_bytes: u64,
+    pub clean_after_repair: bool,
+}
+
+impl ScenarioResult {
+    pub fn availability(&self) -> f64 {
+        self.available as f64 / self.objects as f64
+    }
+}
+
+/// Replicated gluster (2 stripes × 2 replicas, one brick per rack): write
+/// the objects, cut the domain, read everything back with replica failover.
+fn run_replicated(seed: u64, loss: Loss) -> ScenarioResult {
+    let mut net = fresh_net();
+    let gluster =
+        GlusterVolume::new(GlusterConfig::default(), storage_ids()[..4].to_vec());
+    let client: NodeId = 0;
+    let mut offsets = Vec::with_capacity(OBJECTS);
+    let mut pos = 0u64;
+    for i in 0..OBJECTS {
+        let len = object_bytes(seed, i).len() as u64;
+        gluster.try_write(&mut net, client, pos, len).expect("healthy write");
+        offsets.push((pos, len));
+        pos += len;
+    }
+    loss.apply(&mut net);
+    let available = offsets
+        .iter()
+        .filter(|&&(off, len)| gluster.try_read(&mut net, client, off, len).is_ok())
+        .count();
+    ScenarioResult {
+        mode: "replicated",
+        loss,
+        objects: OBJECTS,
+        available,
+        degraded_reads: 0,
+        repair_bytes: 0,
+        cross_domain_repair_bytes: 0,
+        clean_after_repair: true,
+    }
+}
+
+/// Erasure-coded k+m: write the objects, cut the domain, read everything
+/// back (byte-identity is asserted on every successful read), then run the
+/// scrub/repair pass and account its cross-domain traffic.
+fn run_erasure(seed: u64, loss: Loss) -> ScenarioResult {
+    let mut net = fresh_net();
+    let mut vol = ErasureCodedVolume::new(
+        EcConfig { k: EC_K, m: EC_M, ..EcConfig::default() },
+        storage_ids(),
+    );
+    let root: NodeId = TOPO_COMPUTE; // first storage node: rack 0, DC 0
+    let client: NodeId = 0;
+    let payloads: Vec<Vec<u8>> = (0..OBJECTS).map(|i| object_bytes(seed, i)).collect();
+    for (i, data) in payloads.iter().enumerate() {
+        vol.write(&mut net, root, &format!("img-{i:03}"), data).expect("healthy write");
+    }
+    loss.apply(&mut net);
+    let mut available = 0;
+    let mut degraded_reads = 0;
+    for (i, data) in payloads.iter().enumerate() {
+        match vol.try_read(&mut net, client, &format!("img-{i:03}")) {
+            Ok(r) => {
+                assert_eq!(&r.data, data, "degraded read returned wrong bytes");
+                available += 1;
+                degraded_reads += u64::from(r.degraded);
+            }
+            Err(e) => {
+                // Only shard starvation is an acceptable failure mode.
+                assert!(
+                    matches!(e, squirrel_cluster::EcError::NotEnoughShards { .. }),
+                    "unexpected read error: {e}"
+                );
+            }
+        }
+    }
+    let repair = vol.scrub_and_repair(&mut net, root);
+    ScenarioResult {
+        mode: "erasure",
+        loss,
+        objects: OBJECTS,
+        available,
+        degraded_reads,
+        repair_bytes: repair.repair_bytes,
+        cross_domain_repair_bytes: repair.cross_domain_repair_bytes,
+        clean_after_repair: repair.unrepaired_stripes == 0 && vol.is_clean(),
+    }
+}
+
+/// One thread count's soak.
+#[derive(Clone, Debug)]
+pub struct TopologySoakRun {
+    pub threads: usize,
+    pub wall_secs: f64,
+    pub report: ChaosReport,
+}
+
+fn soak_config(cfg: &ExperimentConfig, threads: usize) -> ChaosConfig {
+    ChaosConfig {
+        days: TOPO_SOAK_DAYS,
+        images: cfg.images.min(6),
+        nodes: TOPO_COMPUTE,
+        seed: cfg.seed,
+        threads,
+        topology: topo(),
+        storage_nodes: TOPO_STORAGE,
+        storage: SharedStorage::ErasureCoded { k: EC_K, m: EC_M },
+        faults: FaultConfig::chaos_with_domains(),
+        ..ChaosConfig::default()
+    }
+}
+
+/// Run the sweep and the soak, assert the acceptance properties, and
+/// persist `BENCH_topology.json` under the configured output directory.
+pub fn run_topology(cfg: &ExperimentConfig) -> (Vec<ScenarioResult>, Vec<TopologySoakRun>) {
+    let mut scenarios = Vec::new();
+    for loss in Loss::ALL {
+        scenarios.push(run_replicated(cfg.seed, loss));
+        scenarios.push(run_erasure(cfg.seed, loss));
+    }
+    for s in &scenarios {
+        println!(
+            "topology {} loss={}: {}/{} objects readable ({} degraded), \
+             repair {} B ({} B cross-domain), clean={}",
+            s.mode,
+            s.loss.name(),
+            s.available,
+            s.objects,
+            s.degraded_reads,
+            s.repair_bytes,
+            s.cross_domain_repair_bytes,
+            s.clean_after_repair,
+        );
+    }
+
+    // The headline claims: both designs ride out a single-node loss, and
+    // the erasure-coded tier also rides out a whole-rack loss (the 4-rack
+    // placement caps any rack at m shards per stripe) *and* scrubs back to
+    // clean by re-homing the lost shards across racks.
+    let cell = |mode: &str, loss: Loss| {
+        scenarios.iter().find(|s| s.mode == mode && s.loss == loss).unwrap().clone()
+    };
+    for mode in ["replicated", "erasure"] {
+        assert_eq!(cell(mode, Loss::None).availability(), 1.0, "{mode}: healthy reads failed");
+        assert_eq!(cell(mode, Loss::Node).availability(), 1.0, "{mode}: node loss not survived");
+    }
+    let ec_rack = cell("erasure", Loss::Rack);
+    let ec_survives_rack_loss = ec_rack.availability() == 1.0
+        && ec_rack.degraded_reads > 0
+        && ec_rack.clean_after_repair
+        && ec_rack.cross_domain_repair_bytes > 0;
+    assert!(ec_survives_rack_loss, "EC tier must survive a rack loss: {ec_rack:?}");
+
+    let runs: Vec<TopologySoakRun> = thread_sweep(cfg)
+        .into_iter()
+        .map(|threads| {
+            let t = std::time::Instant::now();
+            let report = chaos_soak(&soak_config(cfg, threads));
+            TopologySoakRun { threads, wall_secs: t.elapsed().as_secs_f64(), report }
+        })
+        .collect();
+    let first = &runs[0];
+    for run in &runs {
+        assert!(run.report.converged, "threads={}: topology soak did not converge", run.threads);
+        assert!(run.report.scrub_clean, "threads={}: pools not scrub-clean", run.threads);
+        assert_eq!(
+            run.report, first.report,
+            "threads={} diverged from threads={}",
+            run.threads, first.threads
+        );
+    }
+    let r = &first.report;
+    println!(
+        "topology soak: {} days, {} rack outages, {} DC outages, {} degraded EC reads, \
+         {} shards rebuilt in repair, {} EC repair bytes ({} cross-domain); converged={}",
+        r.days,
+        r.rack_outages,
+        r.dc_outages,
+        r.ec_degraded_reads,
+        r.ec_shards_rematerialized,
+        r.ec_repair_bytes,
+        r.ec_cross_domain_repair_bytes,
+        r.converged,
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let path = std::path::Path::new(dir).join("BENCH_topology.json");
+        std::fs::write(&path, render_json(cfg, &scenarios, &runs, ec_survives_rack_loss))
+            .expect("write BENCH_topology.json");
+        println!("topology bench written to {}", path.display());
+    }
+    (scenarios, runs)
+}
+
+/// Hand-rolled JSON (the workspace is std-only by policy).
+fn render_json(
+    cfg: &ExperimentConfig,
+    scenarios: &[ScenarioResult],
+    runs: &[TopologySoakRun],
+    ec_survives_rack_loss: bool,
+) -> String {
+    let cells: Vec<String> = scenarios
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"mode\": \"{}\", \"loss\": \"{}\", \"objects\": {}, \
+                 \"available\": {}, \"availability\": {}, \"degraded_reads\": {}, \
+                 \"repair_bytes\": {}, \"cross_domain_repair_bytes\": {}, \
+                 \"clean_after_repair\": {}}}",
+                s.mode,
+                s.loss.name(),
+                s.objects,
+                s.available,
+                fmt_f(s.availability()),
+                s.degraded_reads,
+                s.repair_bytes,
+                s.cross_domain_repair_bytes,
+                s.clean_after_repair,
+            )
+        })
+        .collect();
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|run| {
+            format!("    {{\"threads\": {}, \"wall_secs\": {}}}", run.threads, fmt_f(run.wall_secs))
+        })
+        .collect();
+    let r = &runs[0].report;
+    format!(
+        "{{\n  \"seed\": {},\n  \
+         \"topology\": {{\"regions\": 1, \"datacenters\": 2, \"racks\": 4, \
+         \"compute_nodes\": {TOPO_COMPUTE}, \"storage_nodes\": {TOPO_STORAGE}}},\n  \
+         \"erasure\": {{\"k\": {EC_K}, \"m\": {EC_M}, \"storage_overhead\": {}}},\n  \
+         \"replication\": {{\"replicas\": 2, \"storage_overhead\": 2}},\n  \
+         \"scenarios\": [\n{}\n  ],\n  \
+         \"ec_survives_rack_loss\": {ec_survives_rack_loss},\n  \
+         \"soak\": {{\"days\": {}, \"faults_injected\": {}, \"rack_outages\": {}, \
+         \"dc_outages\": {}, \"ec_degraded_reads\": {}, \"ec_shards_reconstructed\": {}, \
+         \"ec_shards_rematerialized\": {}, \"ec_repair_bytes\": {}, \
+         \"ec_cross_domain_repair_bytes\": {}, \"read_checksum\": \"{}\"}},\n  \
+         \"converged\": {},\n  \"scrub_clean\": {},\n  \
+         \"deterministic_across_threads\": true,\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        cfg.seed,
+        fmt_f(f64::from(EC_K + EC_M) / f64::from(EC_K)),
+        cells.join(",\n"),
+        r.days,
+        r.fault.total_injected(),
+        r.rack_outages,
+        r.dc_outages,
+        r.ec_degraded_reads,
+        r.ec_shards_reconstructed,
+        r.ec_shards_rematerialized,
+        r.ec_repair_bytes,
+        r.ec_cross_domain_repair_bytes,
+        r.read_checksum,
+        r.converged,
+        r.scrub_clean,
+        entries.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_sweep_and_soak_pass_the_acceptance_gates() {
+        let cfg = ExperimentConfig::smoke();
+        let (scenarios, runs) = run_topology(&cfg);
+        assert_eq!(scenarios.len(), 8);
+        assert_eq!(runs.len(), 3);
+        // Rack and DC outages fired in the soak for the smoke seed.
+        assert!(runs[0].report.rack_outages + runs[0].report.dc_outages > 0);
+    }
+
+    #[test]
+    fn json_has_the_acceptance_fields() {
+        let cfg = ExperimentConfig { threads: 1, ..ExperimentConfig::smoke() };
+        let (scenarios, runs) = run_topology(&cfg);
+        let json = render_json(&cfg, &scenarios, &runs, true);
+        for key in [
+            "\"converged\": true",
+            "\"scrub_clean\": true",
+            "\"ec_survives_rack_loss\": true",
+            "\"deterministic_across_threads\": true,",
+            "\"cross_domain_repair_bytes\"",
+            "\"rack_outages\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -7,11 +7,26 @@
 //! replication, connected by 1 GbE and QDR InfiniBand. Figure 18 charges
 //! every byte that reaches a compute node's NIC; this crate implements that
 //! ledger plus the storage-side distribution of reads.
+//!
+//! Beyond the flat DAS-4 model, the crate carries a failure-domain
+//! [`Topology`] (region → datacenter → rack → node) with hierarchy-aware
+//! link costs, CRUSH-style deterministic placement, and an
+//! [`ErasureCodedVolume`] that stripes objects into k+m Reed–Solomon shards
+//! spread across distinct racks — the substrate for correlated-failure
+//! (rack/datacenter loss) chaos experiments.
 
+mod erasure;
 mod netsim;
 mod parallelfs;
+mod rscode;
+mod topology;
 
+pub use erasure::{
+    EcConfig, EcError, EcReadReport, EcRepairReport, EcStats, EcWriteReport, ErasureCodedVolume,
+};
 pub use netsim::{
     LinkKind, NetError, Network, NodeId, NodeRole, TrafficLedger, TransferReport, TransferShape,
 };
 pub use parallelfs::{GlusterConfig, GlusterVolume};
+pub use rscode::{rs_encode, rs_reconstruct, RsError};
+pub use topology::{Domain, LinkScope, Topology, TopologyConfig};

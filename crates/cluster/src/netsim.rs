@@ -1,6 +1,9 @@
 //! Network model: nodes, links, and charged transfer shapes (unicast,
-//! flat/tree multicast, chain pipeline).
+//! flat/tree multicast, chain pipeline), with hierarchy-aware link costs
+//! and whole-domain (rack / datacenter) outages when a [`Topology`] is
+//! attached.
 
+use crate::topology::{LinkScope, Topology, TopologyConfig};
 use squirrel_obs::{Counter, Histogram, Metrics};
 
 /// Node identifier within the cluster.
@@ -146,6 +149,9 @@ struct NetMeters {
     tree_multicasts: Counter,
     pipelines: Counter,
     multicast_fanout: Histogram,
+    /// Delivered payload bytes by link scope, indexed by `LinkScope as
+    /// usize` (`net_scope_bytes_total{scope=...}`).
+    scope_bytes: [Counter; 4],
 }
 
 impl NetMeters {
@@ -158,6 +164,9 @@ impl NetMeters {
             tree_multicasts: m.counter("net_tree_multicast_total"),
             pipelines: m.counter("net_pipeline_total"),
             multicast_fanout: m.histogram("net_multicast_fanout"),
+            scope_bytes: LinkScope::ALL.map(|s| {
+                m.with_label("scope", s.name()).counter("net_scope_bytes_total")
+            }),
         }
     }
 
@@ -176,13 +185,40 @@ pub struct Network {
     /// Cut links, stored as normalized `(min, max)` pairs. Partitions are
     /// symmetric: cutting `a<->b` blocks traffic in both directions.
     partitions: std::collections::BTreeSet<(NodeId, NodeId)>,
+    /// Failure-domain hierarchy; [`TopologyConfig::flat`] for [`Self::new`].
+    topology: Topology,
+    /// Links cut by whole-domain outages, refcounted: a link crossing both
+    /// a downed rack's boundary and its datacenter's boundary carries count
+    /// 2 and stays cut until both domains come back. Kept separate from
+    /// node-level `partitions` so a rack heal never silently heals an
+    /// unrelated link-level cut.
+    domain_cuts: std::collections::BTreeMap<(NodeId, NodeId), u32>,
+    downed_racks: std::collections::BTreeSet<u32>,
+    downed_dcs: std::collections::BTreeSet<u32>,
+    /// Delivered payload bytes per [`LinkScope`]; cleared together with the
+    /// ledgers so experiment phases report their traffic separately.
+    scope_bytes: [u64; 4],
     meters: NetMeters,
 }
 
 impl Network {
     /// A cluster of `compute` compute nodes followed by `storage` storage
-    /// nodes; node ids are assigned in that order.
+    /// nodes; node ids are assigned in that order. Flat topology: a single
+    /// rack, every link intra-rack — the seed cost model exactly.
     pub fn new(link: LinkKind, compute: u32, storage: u32) -> Self {
+        Self::with_topology(link, compute, storage, TopologyConfig::flat())
+    }
+
+    /// A cluster with a failure-domain hierarchy: node `i` (compute and
+    /// storage alike) homes in global rack `i % racks`, and link costs
+    /// scale with the highest boundary crossed (see
+    /// [`LinkScope::cost_multiplier`]).
+    pub fn with_topology(
+        link: LinkKind,
+        compute: u32,
+        storage: u32,
+        topology: TopologyConfig,
+    ) -> Self {
         let mut roles = vec![NodeRole::Compute; compute as usize];
         roles.extend(std::iter::repeat_n(NodeRole::Storage, storage as usize));
         let n = roles.len();
@@ -191,8 +227,35 @@ impl Network {
             roles,
             ledgers: vec![TrafficLedger::default(); n],
             partitions: std::collections::BTreeSet::new(),
+            topology: Topology::new(topology, n),
+            domain_cuts: std::collections::BTreeMap::new(),
+            downed_racks: std::collections::BTreeSet::new(),
+            downed_dcs: std::collections::BTreeSet::new(),
+            scope_bytes: [0; 4],
             meters: NetMeters::disabled(),
         }
+    }
+
+    /// The failure-domain hierarchy this network was built over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The highest failure-domain boundary the `a<->b` link crosses.
+    pub fn scope(&self, a: NodeId, b: NodeId) -> LinkScope {
+        self.topology.scope(a, b)
+    }
+
+    /// Delivered payload bytes that crossed `scope` links since the last
+    /// [`Self::reset_ledgers`].
+    pub fn scope_bytes(&self, scope: LinkScope) -> u64 {
+        self.scope_bytes[scope as usize]
+    }
+
+    /// Delivered payload bytes that crossed *any* failure-domain boundary
+    /// (everything except intra-rack).
+    pub fn cross_domain_bytes(&self) -> u64 {
+        self.scope_bytes[1] + self.scope_bytes[2] + self.scope_bytes[3]
     }
 
     /// Attach observability: transfers record `net_*` counters and the
@@ -248,19 +311,111 @@ impl Network {
         self.partitions.remove(&Self::link_key(a, b));
     }
 
-    /// Restore every cut link.
+    /// Restore every cut link: node-level partitions *and* whole-domain
+    /// outages.
     pub fn heal_all(&mut self) {
         self.partitions.clear();
+        self.domain_cuts.clear();
+        self.downed_racks.clear();
+        self.downed_dcs.clear();
     }
 
     /// Is the direct link between `a` and `b` currently up?
     pub fn is_reachable(&self, a: NodeId, b: NodeId) -> bool {
-        a == b || !self.partitions.contains(&Self::link_key(a, b))
+        a == b
+            || (!self.partitions.contains(&Self::link_key(a, b))
+                && !self.domain_cuts.contains_key(&Self::link_key(a, b)))
     }
 
-    /// Number of currently-cut links.
+    /// Number of currently-cut node-level links (domain outages are counted
+    /// separately, see [`Self::domain_cut_links`]).
     pub fn partition_count(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// Number of links currently cut by rack/datacenter outages.
+    pub fn domain_cut_links(&self) -> usize {
+        self.domain_cuts.len()
+    }
+
+    /// Adjust the refcount of every link crossing the boundary around
+    /// `members`; `delta` is `+1` (domain going down) or `-1` (coming
+    /// back).
+    fn shift_boundary(&mut self, members: &[NodeId], delta: i64) {
+        let inside: std::collections::BTreeSet<NodeId> = members.iter().copied().collect();
+        for &a in members {
+            for b in 0..self.roles.len() as NodeId {
+                if inside.contains(&b) {
+                    continue;
+                }
+                let key = Self::link_key(a, b);
+                let count = self.domain_cuts.entry(key).or_insert(0);
+                if delta > 0 {
+                    *count += 1;
+                } else {
+                    *count = count.saturating_sub(1);
+                }
+                if *count == 0 {
+                    self.domain_cuts.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Take a whole rack off the network: every link crossing the rack
+    /// boundary is cut (intra-rack links stay up — the top-of-rack switch
+    /// is what failed). Returns the number of links newly affected, `0` if
+    /// the rack was already down. Node-level partitions are untouched and
+    /// survive the matching [`Self::rack_up`].
+    pub fn rack_down(&mut self, rack: u32) -> usize {
+        if !self.downed_racks.insert(rack) {
+            return 0;
+        }
+        let members = self.topology.nodes_in_rack(rack);
+        let outside = self.roles.len() - members.len();
+        self.shift_boundary(&members, 1);
+        members.len() * outside
+    }
+
+    /// Bring a downed rack back. Only cuts created by [`Self::rack_down`]
+    /// are released; overlapping datacenter outages and node-level
+    /// partitions keep their links cut. No-op if the rack is not down.
+    pub fn rack_up(&mut self, rack: u32) {
+        if self.downed_racks.remove(&rack) {
+            let members = self.topology.nodes_in_rack(rack);
+            self.shift_boundary(&members, -1);
+        }
+    }
+
+    /// Is `rack` currently taken down by [`Self::rack_down`]?
+    pub fn rack_is_down(&self, rack: u32) -> bool {
+        self.downed_racks.contains(&rack)
+    }
+
+    /// Take a whole datacenter off the network (links *within* it stay up).
+    /// Returns the number of links newly affected, `0` if already down.
+    pub fn datacenter_down(&mut self, dc: u32) -> usize {
+        if !self.downed_dcs.insert(dc) {
+            return 0;
+        }
+        let members = self.topology.nodes_in_datacenter(dc);
+        let outside = self.roles.len() - members.len();
+        self.shift_boundary(&members, 1);
+        members.len() * outside
+    }
+
+    /// Bring a downed datacenter back; the mirror of
+    /// [`Self::datacenter_down`] with [`Self::rack_up`]'s layering rules.
+    pub fn datacenter_up(&mut self, dc: u32) {
+        if self.downed_dcs.remove(&dc) {
+            let members = self.topology.nodes_in_datacenter(dc);
+            self.shift_boundary(&members, -1);
+        }
+    }
+
+    /// Is `dc` currently taken down by [`Self::datacenter_down`]?
+    pub fn datacenter_is_down(&self, dc: u32) -> bool {
+        self.downed_dcs.contains(&dc)
     }
 
     fn check_reachable(&self, src: NodeId, dst: NodeId) -> Result<(), NetError> {
@@ -271,9 +426,27 @@ impl Network {
         }
     }
 
-    /// Seconds one full-payload copy occupies the link.
+    /// Seconds one full-payload copy occupies an intra-rack link.
     fn unit_secs(&self, bytes: u64) -> f64 {
         bytes as f64 / (self.link.mbps() * 1e6)
+    }
+
+    /// Seconds one full-payload copy occupies the `src -> dst` edge, scaled
+    /// by the highest failure-domain boundary it crosses (intra-rack <
+    /// cross-rack < cross-DC < cross-region). With a flat topology every
+    /// edge is intra-rack and this equals [`Self::unit_secs`].
+    fn edge_secs(&self, src: NodeId, dst: NodeId, bytes: u64) -> f64 {
+        self.unit_secs(bytes) * self.topology.scope(src, dst).cost_multiplier()
+    }
+
+    /// Charge one delivered payload copy on the `src -> dst` edge: both
+    /// ledgers plus the per-scope byte tallies.
+    fn charge_edge(&mut self, src: NodeId, dst: NodeId, bytes: u64) {
+        self.ledgers[src as usize].tx_bytes += bytes;
+        self.ledgers[dst as usize].rx_bytes += bytes;
+        let scope = self.topology.scope(src, dst) as usize;
+        self.scope_bytes[scope] += bytes;
+        self.meters.scope_bytes[scope].add(bytes);
     }
 
     /// Transfer `bytes` point-to-point from `src` to `dst`.
@@ -289,13 +462,12 @@ impl Network {
         self.check_node(src)?;
         self.check_node(dst)?;
         self.check_reachable(src, dst)?;
-        self.ledgers[src as usize].tx_bytes += bytes;
-        self.ledgers[dst as usize].rx_bytes += bytes;
+        self.charge_edge(src, dst, bytes);
         self.meters.unicasts.inc();
         self.meters.tx_bytes.add(bytes);
         self.meters.rx_bytes.add(bytes);
         Ok(TransferReport {
-            seconds: self.unit_secs(bytes),
+            seconds: self.edge_secs(src, dst, bytes),
             shape: TransferShape::Unicast,
             payload_bytes: bytes,
             links: 1,
@@ -323,16 +495,23 @@ impl Network {
             self.check_node(d)?;
             self.check_reachable(src, d)?;
         }
+        // One transmission, every subscriber hears it: the source's tx is
+        // charged once, each receiver's edge carries one delivered copy.
         self.ledgers[src as usize].tx_bytes += bytes;
+        let mut slowest = 0.0f64;
         for &d in dsts {
             self.ledgers[d as usize].rx_bytes += bytes;
+            let scope = self.topology.scope(src, d) as usize;
+            self.scope_bytes[scope] += bytes;
+            self.meters.scope_bytes[scope].add(bytes);
+            slowest = slowest.max(self.edge_secs(src, d, bytes));
         }
         self.meters.multicasts.inc();
         self.meters.tx_bytes.add(bytes);
         self.meters.rx_bytes.add(bytes * dsts.len() as u64);
         self.meters.multicast_fanout.observe(dsts.len() as u64);
         Ok(TransferReport {
-            seconds: self.unit_secs(bytes),
+            seconds: if dsts.is_empty() { self.unit_secs(bytes) } else { slowest },
             shape: TransferShape::Multicast,
             payload_bytes: bytes,
             links: dsts.len() as u32,
@@ -372,8 +551,7 @@ impl Network {
             self.check_reachable(parent(i), d)?;
         }
         for (i, &d) in dsts.iter().enumerate() {
-            self.ledgers[parent(i) as usize].tx_bytes += bytes;
-            self.ledgers[d as usize].rx_bytes += bytes;
+            self.charge_edge(parent(i), d, bytes);
         }
         let total = bytes * dsts.len() as u64;
         self.meters.tree_multicasts.inc();
@@ -381,8 +559,14 @@ impl Network {
         self.meters.rx_bytes.add(total);
         self.meters.multicast_fanout.observe(dsts.len() as u64);
         // Level l holds at most k^l receivers; its duration is one payload
-        // time per child of the busiest parent, plus a hop latency.
-        let t1 = self.unit_secs(bytes);
+        // time per child of the busiest parent, plus a hop latency. The
+        // payload time is the tree's slowest edge — levels serialize, so
+        // one cross-domain edge gates the whole fan-out.
+        let t1 = dsts
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| self.edge_secs(parent(i), d, bytes))
+            .fold(0.0f64, f64::max);
         let mut seconds = 0.0;
         let mut remaining = dsts.len();
         let mut level_cap = k;
@@ -427,9 +611,10 @@ impl Network {
             prev = d;
         }
         let mut prev = src;
+        let mut slowest_hop = 0.0f64;
         for &d in dsts {
-            self.ledgers[prev as usize].tx_bytes += bytes;
-            self.ledgers[d as usize].rx_bytes += bytes;
+            slowest_hop = slowest_hop.max(self.edge_secs(prev, d, bytes));
+            self.charge_edge(prev, d, bytes);
             prev = d;
         }
         let total = bytes * dsts.len() as u64;
@@ -437,7 +622,8 @@ impl Network {
         self.meters.tx_bytes.add(total);
         self.meters.rx_bytes.add(total);
         Ok(TransferReport {
-            seconds: self.unit_secs(bytes) + HOP_LATENCY_S * dsts.len() as f64,
+            // The chain drains at the speed of its slowest hop.
+            seconds: slowest_hop + HOP_LATENCY_S * dsts.len() as f64,
             shape: TransferShape::Pipeline,
             payload_bytes: bytes,
             links: dsts.len() as u32,
@@ -467,11 +653,12 @@ impl Network {
         self.storage_nodes().map(|n| self.ledger(n).tx_bytes).sum()
     }
 
-    /// Reset all ledgers (between experiment phases: registration traffic
-    /// versus boot-time traffic are reported separately). Metrics counters
-    /// are cumulative and are not reset.
+    /// Reset all ledgers and the per-scope byte tallies (between experiment
+    /// phases: registration traffic versus boot-time traffic are reported
+    /// separately). Metrics counters are cumulative and are not reset.
     pub fn reset_ledgers(&mut self) {
         self.ledgers.fill(TrafficLedger::default());
+        self.scope_bytes = [0; 4];
     }
 }
 
@@ -694,6 +881,142 @@ mod tests {
         let e: Box<dyn std::error::Error> =
             Box::new(NetError::Partitioned { src: 3, dst: 1 });
         assert_eq!(e.to_string(), "link 3<->1 is partitioned");
+    }
+
+    fn racked(compute: u32, storage: u32, racks: u32) -> Network {
+        Network::with_topology(
+            LinkKind::GbE,
+            compute,
+            storage,
+            TopologyConfig { regions: 1, dcs_per_region: 1, racks_per_dc: racks },
+        )
+    }
+
+    #[test]
+    fn cross_rack_links_cost_more() {
+        // 2 racks over 4 nodes: rack 0 = {0, 2}, rack 1 = {1, 3}.
+        let mut net = racked(2, 2, 2);
+        let bytes = 112_000_000u64;
+        let intra = net.try_unicast(2, 0, bytes).unwrap().seconds;
+        let cross = net.try_unicast(2, 1, bytes).unwrap().seconds;
+        assert!((intra - 1.0).abs() < 1e-9, "intra-rack keeps the flat cost: {intra}");
+        assert!((cross - 2.0).abs() < 1e-9, "cross-rack pays the multiplier: {cross}");
+        assert_eq!(net.scope(2, 0), LinkScope::IntraRack);
+        assert_eq!(net.scope(2, 1), LinkScope::CrossRack);
+        assert_eq!(net.scope_bytes(LinkScope::IntraRack), bytes);
+        assert_eq!(net.scope_bytes(LinkScope::CrossRack), bytes);
+        assert_eq!(net.cross_domain_bytes(), bytes);
+        net.reset_ledgers();
+        assert_eq!(net.cross_domain_bytes(), 0);
+    }
+
+    #[test]
+    fn flat_topology_has_no_cross_domain_traffic() {
+        let mut net = Network::new(LinkKind::GbE, 2, 1);
+        net.try_unicast(2, 0, 1000).unwrap();
+        assert_eq!(net.scope_bytes(LinkScope::IntraRack), 1000);
+        assert_eq!(net.cross_domain_bytes(), 0);
+        // Rack 0 down in a flat topology cuts nothing: there is no boundary.
+        assert_eq!(net.rack_down(0), 0, "no boundary links exist");
+        assert!(net.try_unicast(2, 1, 10).is_ok());
+        net.heal_all();
+    }
+
+    #[test]
+    fn rack_down_cuts_the_boundary_only() {
+        // 3 racks over 9 nodes: rack 0 = {0, 3, 6}, rack 1 = {1, 4, 7}.
+        let mut net = racked(6, 3, 3);
+        let cut = net.rack_down(0);
+        assert_eq!(cut, 3 * 6, "every boundary link cut once");
+        assert!(net.rack_is_down(0));
+        assert!(net.is_reachable(0, 3), "intra-rack links stay up");
+        assert!(!net.is_reachable(0, 1));
+        assert!(!net.is_reachable(6, 7), "storage in the rack is cut too");
+        assert_eq!(net.rack_down(0), 0, "already down: no-op");
+        assert_eq!(net.domain_cut_links(), 18);
+        assert_eq!(net.partition_count(), 0, "domain cuts are not node partitions");
+        net.rack_up(0);
+        assert!(!net.rack_is_down(0));
+        assert!(net.is_reachable(0, 1));
+        assert_eq!(net.domain_cut_links(), 0);
+        net.rack_up(0); // double-up is a no-op
+    }
+
+    #[test]
+    fn datacenter_down_overlapping_rack_down_is_refcounted() {
+        // 2 DCs x 2 racks over 8 nodes: DC 0 = racks {0, 1} = nodes
+        // {0, 4, 1, 5}; DC 1 = racks {2, 3}.
+        let mut net = Network::with_topology(
+            LinkKind::GbE,
+            6,
+            2,
+            TopologyConfig { regions: 1, dcs_per_region: 2, racks_per_dc: 2 },
+        );
+        net.rack_down(0);
+        net.datacenter_down(0);
+        assert!(net.datacenter_is_down(0));
+        assert!(!net.is_reachable(0, 2), "rack 0 to DC 1: cut twice");
+        assert!(!net.is_reachable(1, 2), "rack 1 to DC 1: cut by the DC outage");
+        assert!(!net.is_reachable(0, 1), "rack boundary inside the DC stays cut");
+        // Healing the DC releases its cuts; the rack outage remains.
+        net.datacenter_up(0);
+        assert!(!net.is_reachable(0, 2), "rack 0 is still down");
+        assert!(net.is_reachable(1, 2), "rack 1 is back");
+        net.rack_up(0);
+        assert_eq!(net.domain_cut_links(), 0);
+    }
+
+    // Satellite: partition lifecycle edge cases.
+    #[test]
+    fn double_partition_and_bogus_heal_are_idempotent() {
+        let mut net = Network::new(LinkKind::GbE, 3, 1);
+        net.partition(3, 1);
+        net.partition(1, 3); // same link, reversed order
+        assert_eq!(net.partition_count(), 1, "double cut is one cut");
+        net.heal(0, 2); // never-cut link: no-op
+        assert_eq!(net.partition_count(), 1);
+        assert!(net.is_reachable(0, 2));
+        net.heal(3, 1);
+        net.heal(3, 1); // double heal: no-op
+        assert_eq!(net.partition_count(), 0);
+        assert!(net.try_unicast(3, 1, 10).is_ok());
+    }
+
+    #[test]
+    fn rack_down_overlapping_node_partition_heals_independently() {
+        // Rack 1 = {1, 4, 7}; also cut the 7<->8 link at node level.
+        let mut net = racked(6, 3, 3);
+        net.partition(7, 8);
+        net.rack_down(1);
+        assert!(!net.is_reachable(7, 8));
+        // The rack heal must NOT heal the node-level cut underneath.
+        net.rack_up(1);
+        assert!(!net.is_reachable(7, 8), "node-level cut survives the rack heal");
+        assert!(net.is_reachable(1, 8), "other rack links are back");
+        net.heal(7, 8);
+        assert!(net.is_reachable(7, 8));
+    }
+
+    #[test]
+    fn heal_order_does_not_change_the_ledger() {
+        let run = |heal_rack_first: bool| {
+            let mut net = racked(6, 3, 3);
+            net.partition(0, 6);
+            net.rack_down(1);
+            if heal_rack_first {
+                net.rack_up(1);
+                net.heal(0, 6);
+            } else {
+                net.heal(0, 6);
+                net.rack_up(1);
+            }
+            // Same transfers after full heal, whatever the heal order.
+            net.try_unicast(6, 0, 1000).unwrap();
+            net.try_unicast(7, 1, 2000).unwrap();
+            net.try_multicast(8, &[0, 1, 2], 500).unwrap();
+            (0..9).map(|n| net.ledger(n)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -56,6 +56,7 @@ impl GlusterVolume {
     /// the transfer seconds of the slowest stripe (they proceed in
     /// parallel). Panics when a stripe has no reachable replica — see
     /// [`try_read`](Self::try_read).
+    #[deprecated(note = "panics behind a partition; use try_read")]
     pub fn read(&self, net: &mut Network, client: NodeId, offset: u64, bytes: u64) -> f64 {
         self.try_read(net, client, offset, bytes)
             .expect("every stripe has a reachable replica")
@@ -107,7 +108,26 @@ impl GlusterVolume {
     }
 
     /// Serve a client write: every byte goes to all replicas of its stripe.
+    /// Panics when a stripe loses every replica — see
+    /// [`try_write`](Self::try_write).
+    #[deprecated(note = "panics behind a partition; use try_write")]
     pub fn write(&self, net: &mut Network, client: NodeId, offset: u64, bytes: u64) -> f64 {
+        self.try_write(net, client, offset, bytes)
+            .expect("every stripe has a reachable replica")
+    }
+
+    /// Fallible write with replica failover: every byte goes to each
+    /// *reachable* replica of its stripe (a replica behind a partition is
+    /// skipped and heals later via replication repair, like a real gluster
+    /// self-heal). Only when a stripe has *no* reachable replica does the
+    /// write fail, and it fails before any byte is charged.
+    pub fn try_write(
+        &self,
+        net: &mut Network,
+        client: NodeId,
+        offset: u64,
+        bytes: u64,
+    ) -> Result<f64, NetError> {
         let unit = self.config.stripe_unit;
         let mut per_stripe = vec![0u64; self.config.stripe as usize];
         let mut pos = offset;
@@ -119,20 +139,33 @@ impl GlusterVolume {
             per_stripe[stripe] += take;
             pos += take;
         }
-        let mut slowest = 0.0f64;
+        // Validate every stripe first so total loss charges nothing.
+        let mut serving: Vec<(Vec<NodeId>, u64)> = Vec::new();
         for (s, &b) in per_stripe.iter().enumerate() {
             if b == 0 {
                 continue;
             }
-            for brick in self.stripe_bricks(s as u32).collect::<Vec<_>>() {
+            let primary = self.stripe_bricks(s as u32).next().expect("stripe has bricks");
+            let reachable: Vec<NodeId> = self
+                .stripe_bricks(s as u32)
+                .filter(|&br| net.is_reachable(client, br))
+                .collect();
+            if reachable.is_empty() {
+                return Err(NetError::Partitioned { src: client, dst: primary });
+            }
+            serving.push((reachable, b));
+        }
+        let mut slowest = 0.0f64;
+        for (bricks, b) in serving {
+            for brick in bricks {
                 let secs = net
                     .try_unicast(client, brick, b)
-                    .expect("write replicas are known and reachable")
+                    .expect("reachability was checked")
                     .seconds;
                 slowest = slowest.max(secs);
             }
         }
-        slowest
+        Ok(slowest)
     }
 
     pub fn bricks(&self) -> &[NodeId] {
@@ -162,7 +195,7 @@ mod tests {
     fn read_spreads_across_stripes() {
         let (mut net, vol) = setup();
         // 512 KiB = 4 stripe units, alternating stripe 0/1.
-        vol.read(&mut net, 0, 0, 512 * 1024);
+        vol.try_read(&mut net, 0, 0, 512 * 1024).unwrap();
         let s0: u64 = net.ledger(2).tx_bytes;
         let s1: u64 = net.ledger(3).tx_bytes;
         assert_eq!(s0 + s1, 512 * 1024);
@@ -173,23 +206,60 @@ mod tests {
     #[test]
     fn write_replicates() {
         let (mut net, vol) = setup();
-        vol.write(&mut net, 1, 0, 256 * 1024);
+        vol.try_write(&mut net, 1, 0, 256 * 1024).unwrap();
         let total_storage_rx: u64 = (2..6).map(|n| net.ledger(n).rx_bytes).sum();
         assert_eq!(total_storage_rx, 2 * 256 * 1024, "two replicas per byte");
         assert_eq!(net.ledger(1).tx_bytes, 2 * 256 * 1024);
     }
 
     #[test]
+    fn write_fails_over_to_reachable_replicas() {
+        let (mut net, vol) = setup();
+        // Stripe 0's bricks are 2 and 4; cut the primary only.
+        net.partition(1, 2);
+        vol.try_write(&mut net, 1, 0, 128 * 1024).unwrap();
+        assert_eq!(net.ledger(2).rx_bytes, 0, "partitioned replica skipped");
+        assert_eq!(net.ledger(4).rx_bytes, 128 * 1024, "surviving replica written");
+        net.heal(1, 2);
+    }
+
+    #[test]
+    fn write_with_no_reachable_replica_is_an_error_and_charges_nothing() {
+        let (mut net, vol) = setup();
+        // Stripe 0 = bricks {2, 4}; kill both. Stripe 1 stays healthy, but
+        // the write must fail atomically without charging it.
+        net.partition(1, 2);
+        net.partition(1, 4);
+        let before: u64 = (2..6).map(|n| net.ledger(n).rx_bytes).sum();
+        assert_eq!(
+            vol.try_write(&mut net, 1, 0, 512 * 1024),
+            Err(NetError::Partitioned { src: 1, dst: 2 })
+        );
+        let after: u64 = (2..6).map(|n| net.ledger(n).rx_bytes).sum();
+        assert_eq!(before, after, "failed write charges nothing");
+        net.heal_all();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work_on_a_healthy_network() {
+        let (mut net, vol) = setup();
+        vol.write(&mut net, 1, 0, 4096);
+        vol.read(&mut net, 0, 0, 4096);
+        assert_eq!(net.ledger(0).rx_bytes, 4096);
+    }
+
+    #[test]
     fn unaligned_read_accounts_exact_bytes() {
         let (mut net, vol) = setup();
-        vol.read(&mut net, 0, 100, 1000);
+        vol.try_read(&mut net, 0, 100, 1000).unwrap();
         assert_eq!(net.ledger(0).rx_bytes, 1000);
     }
 
     #[test]
     fn parallel_stripes_faster_than_serial() {
         let (mut net, vol) = setup();
-        let t = vol.read(&mut net, 0, 0, 1 << 20);
+        let t = vol.try_read(&mut net, 0, 0, 1 << 20).unwrap();
         let serial = (1u64 << 20) as f64 / (LinkKind::GbE.mbps() * 1e6);
         assert!(t < serial, "striped read {t} vs serial {serial}");
     }

@@ -10,8 +10,8 @@
 //! randomness; the seed is the only source of nondeterminism.
 
 use crate::dist::DistributionPolicy;
-use crate::system::{HoardBudget, Squirrel, SquirrelConfig};
-use squirrel_cluster::NodeId;
+use crate::system::{HoardBudget, SharedStorage, Squirrel, SquirrelConfig};
+use squirrel_cluster::{NodeId, TopologyConfig};
 use squirrel_dataset::{Corpus, CorpusConfig};
 use squirrel_faults::{ChurnEvent, FaultConfig, FaultPlan, FaultReport, PartitionEvent};
 use squirrel_hash::ContentHash;
@@ -43,6 +43,15 @@ pub struct ChaosConfig {
     /// How registration diffs and cache restores travel — every policy must
     /// survive the same chaos and converge to the same replicated state.
     pub distribution: DistributionPolicy,
+    /// Failure-domain layout. Flat (one rack) keeps the classic soak; a
+    /// multi-rack layout arms correlated domain outages — whole racks and
+    /// datacenters dropping off the network from the same seeded plan.
+    pub topology: TopologyConfig,
+    /// Storage nodes backing the shared tier.
+    pub storage_nodes: u32,
+    /// Physical layer of the shared tier (replicated gluster or
+    /// erasure-coded k+m shards spread across the topology's racks).
+    pub storage: SharedStorage,
 }
 
 impl Default for ChaosConfig {
@@ -57,6 +66,9 @@ impl Default for ChaosConfig {
             faults: FaultConfig::chaos(),
             budget: HoardBudget::unlimited(),
             distribution: DistributionPolicy::Unicast,
+            topology: TopologyConfig::flat(),
+            storage_nodes: 4,
+            storage: SharedStorage::Replicated,
         }
     }
 }
@@ -96,6 +108,21 @@ pub struct ChaosReport {
     /// Whether every node ended the run within its hoard budget
     /// (vacuously true with an unlimited budget).
     pub within_budget: bool,
+    /// Rack outages applied (a rack's boundary links cut as one event).
+    pub rack_outages: u64,
+    /// Datacenter outages applied.
+    pub dc_outages: u64,
+    /// Cold reads the erasure-coded tier served degraded (reconstructed
+    /// through parity; byte-identity is checked on every such read).
+    pub ec_degraded_reads: u64,
+    /// Data shards rebuilt from parity during degraded reads.
+    pub ec_shards_reconstructed: u64,
+    /// Shards repair passes re-materialized or relocated across domains.
+    pub ec_shards_rematerialized: u64,
+    /// Bytes the EC repair passes moved.
+    pub ec_repair_bytes: u64,
+    /// The subset of `ec_repair_bytes` that crossed a rack boundary.
+    pub ec_cross_domain_repair_bytes: u64,
     /// Whether the replication invariant already held before the final
     /// repair pass (it usually doesn't — that's the point of the soak).
     pub consistent_before_final_repair: bool,
@@ -118,10 +145,13 @@ pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
     let mut sq = Squirrel::new(
         SquirrelConfig {
             compute_nodes: cfg.nodes,
+            storage_nodes: cfg.storage_nodes,
             block_size: 16 * 1024,
             threads: cfg.threads,
             hoard_budget: cfg.budget,
             distribution: cfg.distribution,
+            topology: cfg.topology,
+            shared_storage: cfg.storage,
             ..Default::default()
         },
         corpus,
@@ -141,6 +171,18 @@ pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
         let cut = plan.partition_event(storage, cfg.nodes, |n| {
             !sq.network().is_reachable(storage, n)
         });
+        // Correlated domain outages only exist on multi-rack layouts; a
+        // flat topology draws nothing, keeping classic soaks bit-identical.
+        let domain = if cfg.topology.total_racks() > 1 {
+            plan.domain_event(
+                cfg.topology.total_racks(),
+                cfg.topology.total_datacenters(),
+                |rk| sq.network().rack_is_down(rk),
+                |dc| sq.network().datacenter_is_down(dc),
+            )
+        } else {
+            None
+        };
         let rot = plan.block_corruption(cfg.nodes);
         sq.set_fault_plan(plan);
 
@@ -163,13 +205,43 @@ pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
         match cut {
             Some(PartitionEvent::Cut(a, b)) => sq.network_mut().partition(a, b),
             Some(PartitionEvent::Heal(a, b)) => sq.network_mut().heal(a, b),
-            None => {}
+            _ => {}
+        }
+        match domain {
+            Some(PartitionEvent::RackDown(rk)) => {
+                sq.rack_down(rk);
+                r.rack_outages += 1;
+                feed.push_str(&format!("rack-down:{rk}\n"));
+            }
+            Some(PartitionEvent::RackUp(rk)) => {
+                sq.rack_up(rk);
+                feed.push_str(&format!("rack-up:{rk}\n"));
+            }
+            Some(PartitionEvent::DatacenterDown(dc)) => {
+                sq.datacenter_down(dc);
+                r.dc_outages += 1;
+                feed.push_str(&format!("dc-down:{dc}\n"));
+            }
+            Some(PartitionEvent::DatacenterUp(dc)) => {
+                sq.datacenter_up(dc);
+                feed.push_str(&format!("dc-up:{dc}\n"));
+            }
+            _ => {}
         }
         if let Some((victim, nth)) = rot {
             let key = match victim {
                 Some(n) => sq.corrupt_cc_block(n, nth),
                 None => sq.corrupt_sc_block(nth),
             };
+            // Rot aimed at the shared tier also rots one erasure shard when
+            // the tier is erasure-coded — same draw, so replicated runs are
+            // untouched.
+            if victim.is_none() {
+                let shard = sq.corrupt_ec_shard(nth);
+                if shard.is_some() {
+                    feed.push_str(&format!("ec-rot:{shard:?}\n"));
+                }
+            }
             feed.push_str(&format!("rot:{victim:?}:{}\n", key.is_some()));
         }
 
@@ -272,14 +344,25 @@ pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
     };
     r.converged = sq.check_replication().is_consistent();
     r.scrub_clean = sq.scrub_scvol().is_clean()
-        && (0..cfg.nodes).all(|n| sq.scrub_node(n).is_some_and(|s| s.is_clean()));
+        && (0..cfg.nodes).all(|n| sq.scrub_node(n).is_some_and(|s| s.is_clean()))
+        && sq.shared_storage_clean();
+    if let Some(ec) = sq.ec_stats() {
+        r.ec_degraded_reads = ec.degraded_reads;
+        r.ec_shards_reconstructed = ec.read_reconstructions;
+    }
     r.fault = sq.clear_fault_plan().expect("plan armed").report();
     r.read_checksum = ContentHash::of(feed.as_bytes()).to_hex();
     r
 }
 
-/// One full repair pass: scVolume, every online ccVolume, then replication.
+/// One full repair pass: the erasure-coded shared tier (when configured),
+/// the scVolume, every online ccVolume, then replication.
 fn tally_repair(r: &mut ChaosReport, sq: &mut Squirrel) {
+    if let Some(ec) = sq.repair_shared_storage() {
+        r.ec_shards_rematerialized += ec.shards_rematerialized + ec.shards_relocated;
+        r.ec_repair_bytes += ec.repair_bytes;
+        r.ec_cross_domain_repair_bytes += ec.cross_domain_repair_bytes;
+    }
     let sc = sq.scrub_and_repair_scvol();
     r.blocks_repaired += sc.repaired;
     r.blocks_unrepaired += sc.unrepaired;
@@ -402,6 +485,53 @@ mod tests {
             assert!(r.converged, "{}: {r:?}", policy.name());
             assert!(r.scrub_clean, "{}: {r:?}", policy.name());
         }
+    }
+
+    /// Four racks over two datacenters; 4 compute nodes (one per rack) and
+    /// 8 storage nodes (two per rack); 4+2 erasure coding, so a whole rack
+    /// holds at most m = 2 shards of any stripe and its loss stays
+    /// recoverable. Domain outages armed.
+    fn ec_tiny() -> ChaosConfig {
+        ChaosConfig {
+            days: 12,
+            topology: TopologyConfig { regions: 1, dcs_per_region: 2, racks_per_dc: 2 },
+            storage_nodes: 8,
+            storage: SharedStorage::ErasureCoded { k: 4, m: 2 },
+            faults: squirrel_faults::FaultConfig::chaos_with_domains(),
+            ..tiny()
+        }
+    }
+
+    #[test]
+    fn ec_soak_survives_rack_loss_and_converges() {
+        let r = chaos_soak(&ec_tiny());
+        assert!(r.rack_outages > 0, "domain chaos must take racks down: {r:?}");
+        assert!(r.fault.rack_downs > 0, "{:?}", r.fault);
+        assert!(r.converged, "{r:?}");
+        assert!(r.scrub_clean, "every shard healed: {r:?}");
+        assert!(
+            r.ec_shards_rematerialized > 0,
+            "repair must re-materialize shards: {r:?}"
+        );
+        assert!(r.ec_repair_bytes > 0, "{r:?}");
+    }
+
+    #[test]
+    fn ec_soak_is_bit_identical_and_thread_invariant() {
+        let at = |threads| chaos_soak(&ChaosConfig { threads, ..ec_tiny() });
+        let reference = at(1);
+        assert_eq!(at(1), reference, "same seed, same report");
+        for threads in [2, 8] {
+            assert_eq!(at(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn flat_soak_is_unchanged_by_the_domain_machinery() {
+        let r = chaos_soak(&tiny());
+        assert_eq!(r.rack_outages, 0);
+        assert_eq!(r.fault.rack_downs + r.fault.dc_downs, 0);
+        assert_eq!(r.ec_degraded_reads + r.ec_repair_bytes, 0);
     }
 
     #[test]

@@ -45,10 +45,11 @@ mod trace;
 pub use chaos::{chaos_soak, ChaosConfig, ChaosReport};
 pub use dist::{DistributionPolicy, TransferLeg, TransferPlan};
 pub use squirrel_faults::{FaultConfig, FaultPlan, FaultReport};
+pub use squirrel_cluster::{EcRepairReport, EcStats, TopologyConfig};
 pub use system::{
     BootOutcome, BootStormReport, BootVerification, BudgetReport, EvictReport, GcReport,
     HoardBudget, NodeReplication, RegisterReport, RegistrationInfo, RehoardReport, RejoinOutcome,
-    RepairReport, ReplicationReport, Squirrel, SquirrelConfig, SquirrelConfigBuilder,
-    SquirrelError, SyncRepairReport,
+    RepairReport, ReplicationReport, SharedStorage, Squirrel, SquirrelConfig,
+    SquirrelConfigBuilder, SquirrelError, SyncRepairReport,
 };
 pub use trace::paper_scale_trace;

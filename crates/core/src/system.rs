@@ -3,7 +3,10 @@
 use crate::dist::{DistributionPolicy, TransferLeg, TransferPlan};
 use crate::trace::paper_scale_trace;
 use squirrel_bootsim::{Backend, BootReport, BootSim, DedupVolumeParams};
-use squirrel_cluster::{GlusterConfig, GlusterVolume, LinkKind, NetError, Network, NodeId};
+use squirrel_cluster::{
+    EcConfig, EcError, EcRepairReport, EcStats, ErasureCodedVolume, GlusterConfig, GlusterVolume,
+    LinkKind, NetError, Network, NodeId, TopologyConfig,
+};
 use squirrel_compress::Codec;
 use squirrel_dataset::{Corpus, ImageId};
 use squirrel_faults::{FaultPlan, FaultReport, TransferFault};
@@ -54,6 +57,25 @@ impl HoardBudget {
     }
 }
 
+/// Physical layer of the scVolume's shared storage tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SharedStorage {
+    /// The paper's glusterfs 2×2: striping plus flat replication. Every
+    /// byte is stored twice; a rack loss can take both replicas of a
+    /// stripe with it.
+    Replicated,
+    /// k+m Reed–Solomon erasure coding: registration caches stripe into
+    /// `k` data + `m` parity shards placed across distinct racks by the
+    /// cluster topology, so the tier survives the loss of any `m` shards —
+    /// a whole rack, when shards spread over at least `m`+1 racks — at
+    /// `(k+m)/k`× storage overhead. Cold-path reads reconstruct from
+    /// parity when shards are unreachable (degraded but byte-identical).
+    ErasureCoded {
+        k: u32,
+        m: u32,
+    },
+}
+
 /// System configuration; defaults match the paper's deployment.
 ///
 /// Construct with [`SquirrelConfig::builder`] (the struct is
@@ -96,6 +118,14 @@ pub struct SquirrelConfig {
     /// (RevDedup-style: each import is relocated into one sequential run,
     /// fragmenting *older* snapshots instead) deduplication.
     pub dedup_mode: DedupMode,
+    /// Failure-domain layout of the cluster (region → datacenter → rack →
+    /// node). Flat — one rack, the paper's DAS-4 — by default; multi-rack
+    /// layouts give cross-domain links higher transfer costs and let the
+    /// fault layer take whole domains offline.
+    pub topology: TopologyConfig,
+    /// Physical layer of the shared storage tier; the paper's replicated
+    /// gluster by default.
+    pub shared_storage: SharedStorage,
 }
 
 impl Default for SquirrelConfig {
@@ -113,6 +143,8 @@ impl Default for SquirrelConfig {
             distribution: DistributionPolicy::Unicast,
             chunking: ChunkStrategy::Fixed(64 * 1024),
             dedup_mode: DedupMode::Forward,
+            topology: TopologyConfig::flat(),
+            shared_storage: SharedStorage::Replicated,
         }
     }
 }
@@ -209,6 +241,18 @@ impl SquirrelConfigBuilder {
         self
     }
 
+    /// Failure-domain layout; [`TopologyConfig::flat`] by default.
+    pub fn topology(mut self, topology: TopologyConfig) -> Self {
+        self.config.topology = topology;
+        self
+    }
+
+    /// Shared storage tier; [`SharedStorage::Replicated`] by default.
+    pub fn shared_storage(mut self, storage: SharedStorage) -> Self {
+        self.config.shared_storage = storage;
+        self
+    }
+
     /// Finish the configuration.
     ///
     /// # Panics
@@ -221,6 +265,14 @@ impl SquirrelConfigBuilder {
             "record size must be a power of two >= 512"
         );
         assert!(self.config.storage_nodes >= 4, "gluster 2x2 needs four bricks");
+        if let SharedStorage::ErasureCoded { k, m } = self.config.shared_storage {
+            assert!(k > 0 && m > 0 && k + m <= 255, "bad erasure geometry k={k} m={m}");
+            assert!(
+                self.config.storage_nodes >= k + m,
+                "erasure coding needs at least k+m={} storage nodes",
+                k + m
+            );
+        }
         self.config
     }
 }
@@ -243,6 +295,10 @@ pub enum SquirrelError {
     /// A network transfer failed (link partitioned or bad endpoint); the
     /// underlying [`NetError`] is reachable through `source`.
     Net(NetError),
+    /// The erasure-coded shared tier could not serve or store an object
+    /// (too many shards lost, or a shard transfer failed); the underlying
+    /// [`EcError`] is reachable through `source`.
+    Ec(EcError),
     /// A node's hoarded cache disappeared between the warm-path check and
     /// the read that needed it.
     MissingCache { node: NodeId, image: ImageId },
@@ -259,6 +315,7 @@ impl std::fmt::Display for SquirrelError {
             SquirrelError::Recv(e) => write!(f, "snapshot stream rejected: {e}"),
             SquirrelError::Send(e) => write!(f, "snapshot stream unavailable: {e}"),
             SquirrelError::Net(e) => write!(f, "transfer failed: {e}"),
+            SquirrelError::Ec(e) => write!(f, "shared storage failed: {e}"),
             SquirrelError::MissingCache { node, image } => {
                 write!(f, "node {node} lost the hoarded cache of image {image}")
             }
@@ -272,6 +329,7 @@ impl std::error::Error for SquirrelError {
             SquirrelError::Recv(e) => Some(e),
             SquirrelError::Send(e) => Some(e),
             SquirrelError::Net(e) => Some(e),
+            SquirrelError::Ec(e) => Some(e),
             _ => None,
         }
     }
@@ -292,6 +350,12 @@ impl From<SendError> for SquirrelError {
 impl From<NetError> for SquirrelError {
     fn from(e: NetError) -> Self {
         SquirrelError::Net(e)
+    }
+}
+
+impl From<EcError> for SquirrelError {
+    fn from(e: EcError) -> Self {
+        SquirrelError::Ec(e)
     }
 }
 
@@ -625,6 +689,11 @@ pub struct Squirrel {
     corpus: Arc<Corpus>,
     net: Network,
     gluster: GlusterVolume,
+    /// Erasure-coded physical layer of the shared tier, when
+    /// [`SharedStorage::ErasureCoded`] is configured: registration caches
+    /// are striped into k+m shards across racks, and cold-path reads serve
+    /// from any k (reconstructing through parity when domains are down).
+    ec: Option<ErasureCodedVolume>,
     scvol: ZPool,
     nodes: Vec<ComputeNode>,
     registered: BTreeMap<ImageId, Registration>,
@@ -673,6 +742,10 @@ impl VirtualDisk for ImageDisk {
     }
 }
 
+/// A materialized boot working set: `(offset, payload)` blocks in offset
+/// order, as captured by the registration's copy-on-read cache.
+type CacheBlocks = Vec<(u64, Arc<[u8]>)>;
+
 impl Squirrel {
     /// Bring up the system for `corpus` (images known, none registered).
     pub fn new(config: SquirrelConfig, corpus: Arc<Corpus>) -> Self {
@@ -680,11 +753,28 @@ impl Squirrel {
         let registry = MetricsRegistry::new();
         let obs = if config.metrics { registry.handle() } else { Metrics::disabled() };
         let ccvol_obs = obs.with_label("pool", "ccvol");
-        let mut net = Network::new(config.link, config.compute_nodes, config.storage_nodes);
+        let mut net = Network::with_topology(
+            config.link,
+            config.compute_nodes,
+            config.storage_nodes,
+            config.topology,
+        );
         net.set_metrics(&obs);
         let bricks: Vec<NodeId> =
             (config.compute_nodes..config.compute_nodes + 4).collect();
         let gluster = GlusterVolume::new(GlusterConfig::default(), bricks);
+        let ec = match config.shared_storage {
+            SharedStorage::Replicated => None,
+            SharedStorage::ErasureCoded { k, m } => {
+                let candidates: Vec<NodeId> = (config.compute_nodes
+                    ..config.compute_nodes + config.storage_nodes)
+                    .collect();
+                Some(ErasureCodedVolume::new(
+                    EcConfig { k, m, shard_unit: 64 * 1024 },
+                    candidates,
+                ))
+            }
+        };
         let workers = WorkerPool::new(config.threads);
         let ccvol_cfg = Self::ccvol_pool_config(&config);
         let nodes = (0..config.compute_nodes)
@@ -710,6 +800,7 @@ impl Squirrel {
             corpus,
             net,
             gluster,
+            ec,
             scvol,
             nodes,
             registered: BTreeMap::new(),
@@ -785,6 +876,34 @@ impl Squirrel {
         format!("cache-{image:06}")
     }
 
+    /// Replay the registration's copy-on-read boot to materialize `image`'s
+    /// cache: the boot trace drives reads through a CoR cache, capturing
+    /// exactly the working set. Deterministic — the same image yields the
+    /// same bytes — so the EC repair path can rebuild an authoritative copy
+    /// long after registration.
+    fn materialize_cache(&self, image: ImageId) -> (u64, CacheBlocks) {
+        let trace = self.corpus.image(image).cache().boot_trace();
+        let mut cor = CorCache::new(
+            ImageDisk { corpus: Arc::clone(&self.corpus), image },
+            self.config.block_size,
+        );
+        for op in &trace.ops {
+            let mut buf = vec![0u8; op.len as usize];
+            cor.read_at(op.offset, &mut buf);
+        }
+        (cor.cached_bytes(), cor.into_blocks())
+    }
+
+    /// Concatenate a cache's blocks (offset order) into the byte payload
+    /// the erasure-coded tier stripes.
+    fn ec_payload(blocks: &[(u64, Arc<[u8]>)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (_, data) in blocks {
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
     /// Inverse of [`Self::cache_file_name`].
     fn image_of_cache_name(name: &str) -> Option<ImageId> {
         name.strip_prefix("cache-")?.parse().ok()
@@ -809,26 +928,24 @@ impl Squirrel {
 
         // 1. First boot behind a CoR cache on the storage node. The cache
         //    captures exactly the boot working set.
-        let handle = self.corpus.image(image);
-        let cache_view = handle.cache();
-        let trace = cache_view.boot_trace();
-        let mut cor = CorCache::new(
-            ImageDisk { corpus: Arc::clone(&self.corpus), image },
-            self.config.block_size,
-        );
-        for op in &trace.ops {
-            let mut buf = vec![0u8; op.len as usize];
-            cor.read_at(op.offset, &mut buf);
-        }
-        let cache_bytes = cor.cached_bytes();
+        let (cache_bytes, blocks) = self.materialize_cache(image);
 
         // 2. Move the cache from memory into the scVolume through the
         //    staged pipeline: hashing and compression fan out over workers,
         //    the dedup/file-table commit stays serial and in block order,
         //    so the pool state matches a write_block replay exactly.
         let name = Self::cache_file_name(image);
-        let blocks = cor.into_blocks();
         self.scvol.import_blocks_parallel(&name, &blocks);
+
+        // 2b. Under erasure-coded shared storage, the cache's physical
+        //     bytes also stripe into k+m shards across racks — the layer a
+        //     rack loss actually tests.
+        if let Some(ec) = self.ec.as_mut() {
+            let payload = Self::ec_payload(&blocks);
+            let storage_root = self.config.compute_nodes;
+            ec.write(&mut self.net, storage_root, &name, &payload)
+                .map_err(SquirrelError::Ec)?;
+        }
 
         // 3. Snapshot the scVolume for this registration.
         self.reg_seq += 1;
@@ -1307,13 +1424,10 @@ impl Squirrel {
             Ok(BootOutcome { image, node, warm: true, degraded: false, net_bytes: 0, report })
         } else {
             // Cold path: the boot working set crosses the network from the
-            // parallel file system (charged at corpus scale in the ledger,
-            // simulated at paper scale for timing). A node cut off from
-            // every replica of a stripe cannot boot at all.
-            let ws_corpus_scale = self.corpus.image(image).cache().bytes();
-            self.gluster
-                .try_read(&mut self.net, node, 0, ws_corpus_scale)
-                .map_err(SquirrelError::Net)?;
+            // shared tier (charged at corpus scale in the ledger, simulated
+            // at paper scale for timing). A node cut off from every replica
+            // — or from k shards — cannot boot at all.
+            let ws_corpus_scale = self.shared_read(node, image)?;
             let report = self.sim.boot(
                 &trace,
                 &Backend::ColdCache {
@@ -1334,6 +1448,32 @@ impl Squirrel {
                 report,
             })
         }
+    }
+
+    /// Serve a cold boot's working set from the shared tier, charging the
+    /// transfer to the network ledgers. Under erasure-coded storage the
+    /// registered cache object serves from any k reachable shards
+    /// (reconstructing through parity when a domain is down — tallied in
+    /// `squirrel_ec_*`); otherwise, or for images never registered, the
+    /// replicated gluster volume serves the raw bytes. Returns the bytes
+    /// that crossed the network.
+    fn shared_read(&mut self, node: NodeId, image: ImageId) -> Result<u64, SquirrelError> {
+        if let Some(ec) = self.ec.as_mut() {
+            let name = Self::cache_file_name(image);
+            if ec.has_object(&name) {
+                let r = ec.try_read(&mut self.net, node, &name).map_err(SquirrelError::Ec)?;
+                if r.degraded {
+                    self.obs.inc("squirrel_ec_degraded_reads_total");
+                    self.obs.add("squirrel_ec_shards_reconstructed_total", r.reconstructed);
+                }
+                return Ok(r.net_bytes);
+            }
+        }
+        let ws_corpus_scale = self.corpus.image(image).cache().bytes();
+        self.gluster
+            .try_read(&mut self.net, node, 0, ws_corpus_scale)
+            .map_err(SquirrelError::Net)?;
+        Ok(ws_corpus_scale)
     }
 
     /// Derive the dedup-backend parameters for a boot served from a warm
@@ -1472,16 +1612,12 @@ impl Squirrel {
 
         // Cold nodes fetch the working set over the network up front
         // (serial: the network ledger is single-threaded state).
-        let ws_corpus_scale = self.corpus.image(image).cache().bytes();
         let mut net_bytes = 0u64;
         let mut cold_vms = 0u32;
         let mut degraded_vms = 0u32;
         for &node in &assignments {
             if !node_warm[&node] {
-                self.gluster
-                    .try_read(&mut self.net, node as NodeId, 0, ws_corpus_scale)
-                    .map_err(SquirrelError::Net)?;
-                net_bytes += ws_corpus_scale;
+                net_bytes += self.shared_read(node as NodeId, image)?;
                 cold_vms += 1;
                 if node_degraded[&node] {
                     degraded_vms += 1;
@@ -1623,7 +1759,11 @@ impl Squirrel {
             .remove(&image)
             .ok_or(SquirrelError::NotRegistered(image))?;
         let _ = reg;
-        self.scvol.delete_file(&Self::cache_file_name(image));
+        let name = Self::cache_file_name(image);
+        self.scvol.delete_file(&name);
+        if let Some(ec) = self.ec.as_mut() {
+            ec.remove_object(&name);
+        }
         Ok(())
     }
 
@@ -2281,6 +2421,106 @@ impl Squirrel {
         report
     }
 
+    /// Scrub the erasure-coded shared tier and repair it: lost or corrupt
+    /// shards are rebuilt from any k healthy donors, shards stranded in
+    /// unreachable domains are re-materialized onto replacement nodes in
+    /// live domains, and a stripe that lost more than m shards is rewritten
+    /// wholesale from a deterministically re-materialized authoritative
+    /// cache. All transfers are charged to the ledgers; the cross-domain
+    /// share feeds `squirrel_ec_cross_domain_repair_bytes_total`. `None`
+    /// under replicated shared storage.
+    pub fn repair_shared_storage(&mut self) -> Option<EcRepairReport> {
+        let mut ec = self.ec.take()?;
+        let coordinator = self.config.compute_nodes;
+        let mut report = ec.scrub_and_repair(&mut self.net, coordinator);
+        for name in std::mem::take(&mut report.unrepaired_objects) {
+            let rewritten = Self::image_of_cache_name(&name)
+                .filter(|&img| self.registered.contains_key(&img))
+                .is_some_and(|img| {
+                    let (_, blocks) = self.materialize_cache(img);
+                    let payload = Self::ec_payload(&blocks);
+                    ec.rewrite_object(&mut self.net, coordinator, &name, &payload).is_ok()
+                });
+            if !rewritten {
+                report.unrepaired_objects.push(name);
+            }
+        }
+        self.obs.add(
+            "squirrel_ec_shards_rematerialized_total",
+            report.shards_rematerialized + report.shards_relocated,
+        );
+        self.obs.add("squirrel_ec_repair_bytes_total", report.repair_bytes);
+        self.obs.add(
+            "squirrel_ec_cross_domain_repair_bytes_total",
+            report.cross_domain_repair_bytes,
+        );
+        self.ec = Some(ec);
+        Some(report)
+    }
+
+    /// Whether the shared tier's physical layer is fully intact: every
+    /// erasure-coded shard present and passing its checksum. Always `true`
+    /// under replicated storage, whose block health lives in the scVolume's
+    /// own scrub.
+    pub fn shared_storage_clean(&self) -> bool {
+        self.ec.as_ref().is_none_or(ErasureCodedVolume::is_clean)
+    }
+
+    /// Lifetime counters of the erasure-coded tier; `None` when replicated.
+    pub fn ec_stats(&self) -> Option<EcStats> {
+        self.ec.as_ref().map(ErasureCodedVolume::stats)
+    }
+
+    /// Fault hook: flip one byte of the `nth` stored erasure shard (mod the
+    /// shard population). `None` under replicated storage or while no
+    /// shards are stored.
+    pub fn corrupt_ec_shard(&mut self, nth: u64) -> Option<(String, u32, u32)> {
+        let victim = self.ec.as_mut()?.corrupt_nth_shard(nth);
+        if victim.is_some() {
+            self.obs.inc("squirrel_fault_ec_shard_corruptions_total");
+        }
+        victim
+    }
+
+    /// Take a whole rack's boundary links down (correlated failure: every
+    /// node in the rack loses cross-rack connectivity at once). Counted in
+    /// `squirrel_domain_rack_downs_total`; idempotent while already down.
+    /// Returns the number of links cut.
+    pub fn rack_down(&mut self, rack: u32) -> usize {
+        let cut = self.net.rack_down(rack);
+        if cut > 0 {
+            self.obs.inc("squirrel_domain_rack_downs_total");
+        }
+        cut
+    }
+
+    /// Heal a rack taken down by [`Self::rack_down`]. Node-level cuts that
+    /// happen to cross the boundary stay cut.
+    pub fn rack_up(&mut self, rack: u32) {
+        if self.net.rack_is_down(rack) {
+            self.obs.inc("squirrel_domain_rack_ups_total");
+        }
+        self.net.rack_up(rack);
+    }
+
+    /// Take a whole datacenter's boundary links down. Counted in
+    /// `squirrel_domain_dc_downs_total`; idempotent while already down.
+    pub fn datacenter_down(&mut self, dc: u32) -> usize {
+        let cut = self.net.datacenter_down(dc);
+        if cut > 0 {
+            self.obs.inc("squirrel_domain_dc_downs_total");
+        }
+        cut
+    }
+
+    /// Heal a datacenter taken down by [`Self::datacenter_down`].
+    pub fn datacenter_up(&mut self, dc: u32) {
+        if self.net.datacenter_is_down(dc) {
+            self.obs.inc("squirrel_domain_dc_ups_total");
+        }
+        self.net.datacenter_up(dc);
+    }
+
     fn record_repair(&self, report: &RepairReport) {
         self.obs.inc("squirrel_repair_runs_total");
         self.obs.add("squirrel_repair_blocks_total", report.repaired);
@@ -2700,6 +2940,61 @@ mod tests {
         assert!(sq.boot(0, 0).expect("boot").warm);
         // Idempotent eviction.
         assert!(!sq.evict_cache(1, 0).expect("evict again").was_cached);
+    }
+
+    fn ec_system() -> Squirrel {
+        let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+        Squirrel::new(
+            SquirrelConfig {
+                compute_nodes: 4,
+                storage_nodes: 8,
+                block_size: 16 * 1024,
+                topology: TopologyConfig { regions: 1, dcs_per_region: 2, racks_per_dc: 2 },
+                shared_storage: SharedStorage::ErasureCoded { k: 4, m: 2 },
+                ..Default::default()
+            },
+            corpus,
+        )
+    }
+
+    #[test]
+    fn ec_cold_boot_survives_rack_loss_and_repair_rehomes_shards() {
+        let mut sq = ec_system();
+        sq.register(0).expect("register");
+        assert!(sq.shared_storage_clean());
+        // Evict node 1's cache so its next boot is cold (served from the
+        // shared EC tier), then take down rack 3. Nodes land in racks
+        // round-robin, so rack 3 holds compute node 3 and storage nodes
+        // 7 and 11 — and the distinct-rack placement phase guarantees at
+        // least one of the object's shards lives there.
+        assert!(sq.evict_cache(1, 0).expect("evict").was_cached);
+        assert!(sq.rack_down(3) > 0);
+        let boot = sq.boot(1, 0).expect("cold boot through rack loss");
+        assert!(!boot.warm);
+        let stats = sq.ec_stats().expect("ec tier armed");
+        assert_eq!(stats.direct_reads + stats.degraded_reads, 1);
+        // The scrub pass re-homes the stranded shards onto surviving
+        // racks, leaving the tier clean even while rack 3 is still dark.
+        let rep = sq.repair_shared_storage().expect("ec repair report");
+        assert!(rep.shards_relocated > 0, "no shard left rack 3: {rep:?}");
+        assert!(rep.unrepaired_stripes == 0 && sq.shared_storage_clean());
+        sq.rack_up(3);
+        assert!(sq.evict_cache(2, 0).expect("evict").was_cached);
+        assert!(!sq.boot(2, 0).expect("boot after heal").warm);
+        assert!(sq.shared_storage_clean());
+    }
+
+    #[test]
+    fn deregister_drops_the_ec_object() {
+        let mut sq = ec_system();
+        sq.register(0).expect("register");
+        sq.register(1).expect("register");
+        sq.deregister(0).expect("deregister");
+        // Only image 1's cache remains in the EC tier; the pass stays
+        // clean (no orphaned shards keep getting scrubbed).
+        assert!(sq.shared_storage_clean());
+        let rep = sq.repair_shared_storage().expect("ec repair report");
+        assert_eq!(rep.stripes_scanned, 1);
     }
 
     #[test]

@@ -92,6 +92,14 @@ pub struct FaultConfig {
     pub partition_prob: f64,
     /// A partitioned link heals, per draw.
     pub heal_prob: f64,
+    /// A whole rack drops off the network, per domain draw.
+    pub rack_down_prob: f64,
+    /// A downed rack comes back, per domain draw.
+    pub rack_heal_prob: f64,
+    /// A whole datacenter drops off the network, per domain draw.
+    pub dc_down_prob: f64,
+    /// A downed datacenter comes back, per domain draw.
+    pub dc_heal_prob: f64,
     /// Delivery attempts after the first before the sender gives up.
     pub max_retries: u32,
     /// First retry backoff; attempt `k` waits `base * 2^k` seconds.
@@ -112,6 +120,10 @@ impl Default for FaultConfig {
             flap_prob: 0.0,
             partition_prob: 0.0,
             heal_prob: 0.0,
+            rack_down_prob: 0.0,
+            rack_heal_prob: 0.0,
+            dc_down_prob: 0.0,
+            dc_heal_prob: 0.0,
             max_retries: 4,
             backoff_base_secs: 0.05,
         }
@@ -135,8 +147,27 @@ impl FaultConfig {
             flap_prob: 0.10,
             partition_prob: 0.15,
             heal_prob: 0.40,
+            // Domain outages stay off in the flat-cluster chaos schedule;
+            // see [`FaultConfig::chaos_with_domains`].
+            rack_down_prob: 0.0,
+            rack_heal_prob: 0.0,
+            dc_down_prob: 0.0,
+            dc_heal_prob: 0.0,
             max_retries: 6,
             backoff_base_secs: 0.05,
+        }
+    }
+
+    /// The [`chaos`](Self::chaos) schedule plus correlated domain outages:
+    /// whole racks (and, rarely, whole datacenters) drop off the network
+    /// and come back. For soaks over a multi-rack cluster topology.
+    pub fn chaos_with_domains() -> Self {
+        FaultConfig {
+            rack_down_prob: 0.12,
+            rack_heal_prob: 0.50,
+            dc_down_prob: 0.03,
+            dc_heal_prob: 0.60,
+            ..Self::chaos()
         }
     }
 }
@@ -165,14 +196,24 @@ pub enum ChurnEvent {
     Flap(NodeId),
 }
 
-/// One step of a partition schedule, on the storage↔compute links the
-/// propagation path uses.
+/// One step of a partition schedule: single storage↔compute links the
+/// propagation path uses, or whole failure domains (racks, datacenters)
+/// falling off the network together. Domain ids index the cluster
+/// topology's global rack/datacenter numbering.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PartitionEvent {
     /// Cut the link between two nodes.
     Cut(NodeId, NodeId),
     /// Heal the link between two nodes.
     Heal(NodeId, NodeId),
+    /// Every link crossing this rack's boundary goes down.
+    RackDown(u32),
+    /// The rack's boundary links come back.
+    RackUp(u32),
+    /// Every link crossing this datacenter's boundary goes down.
+    DatacenterDown(u32),
+    /// The datacenter's boundary links come back.
+    DatacenterUp(u32),
 }
 
 /// Tally of every fault the plan injected. Returned by
@@ -192,6 +233,10 @@ pub struct FaultReport {
     pub flaps: u64,
     pub partitions: u64,
     pub heals: u64,
+    pub rack_downs: u64,
+    pub rack_ups: u64,
+    pub dc_downs: u64,
+    pub dc_ups: u64,
     /// Delivery retries the recovery layer reported back via
     /// [`FaultPlan::note_retry`].
     pub retries: u64,
@@ -215,6 +260,10 @@ impl FaultReport {
             + self.flaps
             + self.partitions
             + self.heals
+            + self.rack_downs
+            + self.rack_ups
+            + self.dc_downs
+            + self.dc_ups
     }
 }
 
@@ -381,6 +430,45 @@ impl FaultPlan {
         None
     }
 
+    /// Draw one correlated domain outage over `racks` racks and `dcs`
+    /// datacenters (global topology ids), if any fires. `rack_down` /
+    /// `dc_down` report current outage state, steering downs at live
+    /// domains and heals at downed ones. The rack draw always precedes the
+    /// datacenter draw so the schedule is stable under probability tweaks.
+    pub fn domain_event(
+        &mut self,
+        racks: u32,
+        dcs: u32,
+        mut rack_down: impl FnMut(u32) -> bool,
+        mut dc_down: impl FnMut(u32) -> bool,
+    ) -> Option<PartitionEvent> {
+        if racks > 0 {
+            let pick = self.rng.below(u64::from(racks)) as u32;
+            if rack_down(pick) {
+                if self.rng.chance(self.config.rack_heal_prob) {
+                    self.report.rack_ups += 1;
+                    return Some(PartitionEvent::RackUp(pick));
+                }
+            } else if self.rng.chance(self.config.rack_down_prob) {
+                self.report.rack_downs += 1;
+                return Some(PartitionEvent::RackDown(pick));
+            }
+        }
+        if dcs > 0 {
+            let pick = self.rng.below(u64::from(dcs)) as u32;
+            if dc_down(pick) {
+                if self.rng.chance(self.config.dc_heal_prob) {
+                    self.report.dc_ups += 1;
+                    return Some(PartitionEvent::DatacenterUp(pick));
+                }
+            } else if self.rng.chance(self.config.dc_down_prob) {
+                self.report.dc_downs += 1;
+                return Some(PartitionEvent::DatacenterDown(pick));
+            }
+        }
+        None
+    }
+
     /// Deterministic exponential backoff: attempt `k` (0-based retry index)
     /// waits `backoff_base_secs * 2^k` simulated seconds.
     pub fn backoff_secs(&self, attempt: u32) -> f64 {
@@ -516,6 +604,54 @@ mod tests {
                 }
                 ChurnEvent::Flap(n) => up[n as usize] = true,
             }
+        }
+    }
+
+    #[test]
+    fn domain_chaos_fires_and_steers_by_state() {
+        let mut p = FaultPlan::new(404, FaultConfig::chaos_with_domains());
+        let mut rack_state = [false; 4];
+        let mut dc_state = [false; 2];
+        for _ in 0..400 {
+            let (rs, ds) = (rack_state, dc_state);
+            match p.domain_event(4, 2, |r| rs[r as usize], |d| ds[d as usize]) {
+                Some(PartitionEvent::RackDown(r)) => {
+                    assert!(!rack_state[r as usize], "down of a downed rack");
+                    rack_state[r as usize] = true;
+                }
+                Some(PartitionEvent::RackUp(r)) => {
+                    assert!(rack_state[r as usize], "heal of a live rack");
+                    rack_state[r as usize] = false;
+                }
+                Some(PartitionEvent::DatacenterDown(d)) => {
+                    assert!(!dc_state[d as usize]);
+                    dc_state[d as usize] = true;
+                }
+                Some(PartitionEvent::DatacenterUp(d)) => {
+                    assert!(dc_state[d as usize]);
+                    dc_state[d as usize] = false;
+                }
+                Some(other) => panic!("domain_event returned {other:?}"),
+                None => {}
+            }
+        }
+        let r = p.report();
+        assert!(r.rack_downs > 0 && r.rack_ups > 0, "{r:?}");
+        assert!(r.dc_downs > 0 && r.dc_ups > 0, "{r:?}");
+        assert!(r.total_injected() >= r.rack_downs + r.rack_ups + r.dc_downs + r.dc_ups);
+    }
+
+    #[test]
+    fn quiet_and_flat_plans_draw_no_domain_events() {
+        let mut p = FaultPlan::quiet(5);
+        for _ in 0..50 {
+            assert_eq!(p.domain_event(4, 2, |_| false, |_| false), None);
+        }
+        assert_eq!(p.report(), FaultReport::default());
+        // Zero domains: nothing to pick from even under chaos rates.
+        let mut c = FaultPlan::new(6, FaultConfig::chaos_with_domains());
+        for _ in 0..50 {
+            assert_eq!(c.domain_event(0, 0, |_| false, |_| false), None);
         }
     }
 

@@ -106,6 +106,22 @@ grep -q '"peer_below_unicast_10k": true' results/BENCH_distribution.json
 grep -q '"multicast_below_unicast_1k": true' results/BENCH_distribution.json
 grep -q '"deterministic_across_threads": true' results/BENCH_distribution.json
 
+echo "== fleet soak smoke (release, pinned seed) =="
+rm -f results/BENCH_fleet.json
+cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \
+    fleet --images 8 --scale 8192 --seed 2014 --threads 2 > /dev/null
+test -f results/BENCH_fleet.json
+# Three simulated days of Zipf + diurnal demand over 100- and 1000-node
+# elastic fleets must replay bit-identically at every thread count, keep
+# p99 boot latency finite and the degraded-boot rate bounded, and
+# peer-assisted distribution must move strictly fewer storage-tier bytes
+# per day than unicast at the exact same degraded-boot rate.
+grep -q '"deterministic_across_threads": true' results/BENCH_fleet.json
+grep -q '"p99_finite": true' results/BENCH_fleet.json
+grep -q '"degraded_rate_bounded": true' results/BENCH_fleet.json
+grep -q '"degraded_rates_equal": true' results/BENCH_fleet.json
+grep -q '"peer_storage_below_unicast": true' results/BENCH_fleet.json
+
 echo "== chunking sweep smoke (release, pinned seed) =="
 rm -f results/BENCH_chunking.json
 cargo run --release --quiet -p squirrel-bench --bin squirrel-experiments -- \

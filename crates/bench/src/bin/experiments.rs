@@ -6,7 +6,7 @@
 //!
 //! commands:
 //!   table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13
-//!   fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chunking chaos topology budget distribution all smoke
+//!   fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chunking chaos topology budget distribution fleet all smoke
 //! ```
 //!
 //! Defaults (96 images at 1/512 volume) finish in minutes in release
@@ -15,7 +15,7 @@
 
 use squirrel_bench::experiments::{
     ablations, boottime, bootstorm, budget, chaosbench, chunking, distribution, extrapolate,
-    ingest, network, storage, sweeps, topology, whatif,
+    fleet, ingest, network, storage, sweeps, topology, whatif,
 };
 use squirrel_bench::ExperimentConfig;
 
@@ -23,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: squirrel-experiments <command> [--images N] [--scale S] [--seed S] [--out DIR] [--threads T]\n\
          commands: table1 table2 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13\n\
-         \u{20}         fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chunking chaos topology budget distribution all smoke"
+         \u{20}         fig14 fig15 fig16 fig17 fig18 ablation-sync ablation-ccr ablation-hoard\n\u{20}         ablation-chunking whatif-windows bootstorm ingest chunking chaos topology budget distribution fleet all smoke"
     );
     std::process::exit(2);
 }
@@ -144,6 +144,9 @@ fn main() {
         "distribution" => {
             distribution::run_distribution(&cfg, &distribution::DIST_NODE_COUNTS);
         }
+        "fleet" => {
+            fleet::run_fleet_bench(&cfg, &fleet::FLEET_NODE_COUNTS);
+        }
         "all" => {
             ingest::run_ingest(&cfg, ingest::INGEST_BLOCKS, 3);
             chunking::run_chunking(
@@ -157,6 +160,7 @@ fn main() {
             topology::run_topology(&cfg);
             budget::run_budget(&cfg);
             distribution::run_distribution(&cfg, &distribution::DIST_NODE_COUNTS);
+            fleet::run_fleet_bench(&cfg, &fleet::FLEET_NODE_COUNTS);
             sweeps::run_table2(&cfg);
             sweeps::run_table1(&cfg);
             sweeps::run_fig2(&cfg);

@@ -8,6 +8,7 @@ pub mod chaosbench;
 pub mod chunking;
 pub mod distribution;
 pub mod extrapolate;
+pub mod fleet;
 pub mod ingest;
 pub mod network;
 pub mod storage;

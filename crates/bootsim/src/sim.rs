@@ -93,6 +93,15 @@ pub struct BootReport {
     pub decompressed_bytes: u64,
 }
 
+impl BootReport {
+    /// Event-scheduler pricing of this boot: the total latency as integral
+    /// milliseconds (rounded). Discrete-event drivers aggregate in this
+    /// unit so their reports stay `Eq`-comparable across runs.
+    pub fn total_millis(&self) -> u64 {
+        (self.total_seconds * 1000.0).round() as u64
+    }
+}
+
 /// The simulator: device models plus the cluster-granular request chain.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BootSim {

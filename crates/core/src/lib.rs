@@ -36,13 +36,21 @@
 //!   blocks and churn; recovery is transactional recv, bounded
 //!   retry-with-backoff, scrub-and-repair from intact replicas, and
 //!   degraded boots that fall back to shared storage.
+//! * [`Squirrel::run_fleet`] — a fleet-scale soak on the [`sched`]
+//!   discrete-event core: Zipf + diurnal demand over an elastic fleet,
+//!   popularity decay feeding budget enforcement, and per-day
+//!   latency/byte roll-ups in a [`FleetReport`].
 
 pub mod chaos;
 mod dist;
+pub mod fleet;
+pub mod sched;
 mod system;
 mod trace;
 
 pub use chaos::{chaos_soak, ChaosConfig, ChaosReport};
+pub use fleet::{run_fleet, run_fleet_with_metrics, FleetConfig, FleetDay, FleetReport};
+pub use sched::{EventQueue, Scheduled};
 pub use dist::{DistributionPolicy, TransferLeg, TransferPlan};
 pub use squirrel_faults::{FaultConfig, FaultPlan, FaultReport};
 pub use squirrel_cluster::{EcRepairReport, EcStats, TopologyConfig};

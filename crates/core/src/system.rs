@@ -1402,7 +1402,6 @@ impl Squirrel {
         if (image as usize) >= self.corpus.len() {
             return Err(SquirrelError::UnknownImage(image));
         }
-        self.note_popularity(image, 1);
         let n = &self.nodes[node as usize];
 
         let name = Self::cache_file_name(image);
@@ -1420,6 +1419,10 @@ impl Squirrel {
         if warm {
             let backend = self.warm_backend(&n.ccvol, &name);
             let report = self.sim.boot(&trace, &backend);
+            // Popularity counts only boots that succeed: the warm path is
+            // infallible from here, the cold path below counts after its
+            // shared read went through.
+            self.note_popularity(image, 1);
             self.record_boot(node, image, true, 0);
             Ok(BootOutcome { image, node, warm: true, degraded: false, net_bytes: 0, report })
         } else {
@@ -1435,6 +1438,7 @@ impl Squirrel {
                     image_bytes: self.paper_image_bytes(image),
                 },
             );
+            self.note_popularity(image, 1);
             self.record_boot(node, image, false, ws_corpus_scale);
             if degraded {
                 self.obs.inc("squirrel_boot_degraded_total");
@@ -1516,6 +1520,39 @@ impl Squirrel {
         self.popularity.get(&image).copied().unwrap_or(0)
     }
 
+    /// Exponentially decay every image's popularity: each count becomes
+    /// `floor(count * factor)` and entries that cool to zero are dropped.
+    /// Without decay the signal is a monotone counter — an image hot on day
+    /// one outranks everything forever and is never evictable, however cold
+    /// it has gone. Run on a cadence (the fleet driver does), decay turns
+    /// popularity into a recency-weighted score: each surviving count is a
+    /// geometric sum of past boots, so [`Self::enforce_hoard_budgets`]
+    /// evicts what stopped booting, not what never boomed. `factor` is
+    /// clamped to `[0, 1]`; returns how many images cooled to zero.
+    pub fn decay_popularity(&mut self, factor: f64) -> u64 {
+        let f = factor.clamp(0.0, 1.0);
+        let mut dropped = 0u64;
+        self.popularity.retain(|_, count| {
+            *count = (*count as f64 * f).floor() as u64;
+            if *count == 0 {
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.obs.inc("squirrel_popularity_decays_total");
+        self.obs.add("squirrel_popularity_dropped_total", dropped);
+        dropped
+    }
+
+    /// Unlabeled workflow metrics handle, for sibling orchestration modules
+    /// in this crate (the fleet driver records `squirrel_fleet_*` series
+    /// through it).
+    pub(crate) fn obs_handle(&self) -> &Metrics {
+        &self.obs
+    }
+
     /// Per-node boot accounting (serial: boots never run concurrently).
     fn record_boot(&self, node: NodeId, image: ImageId, warm: bool, net_bytes: u64) {
         if !self.obs.is_enabled() {
@@ -1565,7 +1602,6 @@ impl Squirrel {
         if online.is_empty() {
             return Err(SquirrelError::NodeOffline(0));
         }
-        self.note_popularity(image, u64::from(vms));
         let threads = self.config.threads;
         let bs = self.config.block_size as u64;
         let name = Self::cache_file_name(image);
@@ -1683,26 +1719,45 @@ impl Squirrel {
         }
         let read_checksum = squirrel_hash::ContentHash::of(concat.as_bytes()).to_hex();
 
-        // Timing: VMs sharing a node queue on that node's device; each node
-        // group replays concurrently through the boot simulator.
+        // Every fallible phase is behind us: only now do the storm's VMs
+        // count toward the eviction signal. A storm that errored out above
+        // (offline fleet, unreachable storage, missing cache) must not
+        // inflate popularity for boots that never happened.
+        self.note_popularity(image, u64::from(vms));
+
+        // Timing: VMs sharing a node queue on that node's device. Backends
+        // derive serially (they read pool state), then the node groups
+        // replay concurrently on the persistent worker pool — `BootSim::boot`
+        // is pure, and the serial reduction below assigns results in node
+        // order, so `boot_seconds` is bit-identical at any thread count.
         let paper_trace = paper_scale_trace(self.paper_ws_bytes(image), image as u64);
         let mut by_node: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (vm, &node) in assignments.iter().enumerate() {
             by_node.entry(node).or_default().push(vm);
         }
-        let mut boot_seconds = vec![0.0f64; vms as usize];
-        for (&node, vm_ids) in &by_node {
-            let backend = if caches.contains_key(&node) {
-                self.warm_backend(&self.nodes[node].ccvol, &name)
-            } else {
-                Backend::ColdCache {
-                    net_mbps: self.config.link.mbps(),
-                    image_bytes: self.paper_image_bytes(image),
-                }
-            };
+        let groups: Vec<(Vec<usize>, Backend)> = by_node
+            .iter()
+            .map(|(&node, vm_ids)| {
+                let backend = if caches.contains_key(&node) {
+                    self.warm_backend(&self.nodes[node].ccvol, &name)
+                } else {
+                    Backend::ColdCache {
+                        net_mbps: self.config.link.mbps(),
+                        image_bytes: self.paper_image_bytes(image),
+                    }
+                };
+                (vm_ids.clone(), backend)
+            })
+            .collect();
+        let sim = &self.sim;
+        let workers = &self.workers;
+        let timed = workers.parallel_map(&groups, |_i, (vm_ids, backend)| {
             let traces = vec![paper_trace.clone(); vm_ids.len()];
-            let reports = self.sim.boot_concurrent_on(&traces, &backend, &self.workers);
-            for (&vm, report) in vm_ids.iter().zip(&reports) {
+            sim.boot_concurrent_on(&traces, backend, workers)
+        });
+        let mut boot_seconds = vec![0.0f64; vms as usize];
+        for ((vm_ids, _), reports) in groups.iter().zip(&timed) {
+            for (&vm, report) in vm_ids.iter().zip(reports) {
                 boot_seconds[vm] = report.total_seconds;
             }
         }
@@ -3680,5 +3735,130 @@ mod tests {
         let repair = sq.scrub_and_repair(0).expect("empty pool repair");
         assert_eq!(repair.corrupt_found, 0);
         assert!(repair.is_healed());
+    }
+
+    #[test]
+    fn errored_boot_leaves_popularity_unchanged() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("register");
+        sq.boot(0, 0).expect("boot");
+        assert_eq!(sq.image_popularity(0), 1);
+
+        // Offline node: the boot fails before any work happens.
+        sq.node_offline(1).expect("offline");
+        assert!(sq.boot(1, 0).is_err());
+        assert_eq!(sq.image_popularity(0), 1, "failed boot must not count");
+
+        // Cold boot with the shared tier unreachable: the boot fails after
+        // validation, in the shared read.
+        sq.node_rejoin(1).expect("rejoin");
+        let storage = sq.config().compute_nodes;
+        for n in 0..sq.config().storage_nodes {
+            sq.network_mut().partition(0, storage + n);
+        }
+        assert!(sq.boot(0, 5).is_err(), "unregistered image, storage cut");
+        assert_eq!(sq.image_popularity(5), 0, "failed cold boot must not count");
+    }
+
+    #[test]
+    fn errored_boot_storm_leaves_popularity_unchanged() {
+        let mut sq = small_system(2);
+        sq.register(0).expect("register");
+
+        // Unknown image: rejected up front.
+        assert!(sq.boot_storm(99, 4).is_err());
+        assert_eq!(sq.image_popularity(99), 0);
+
+        // Whole fleet offline: rejected before any VM boots.
+        sq.node_offline(0).expect("offline");
+        sq.node_offline(1).expect("offline");
+        assert!(sq.boot_storm(0, 4).is_err());
+        assert_eq!(sq.image_popularity(0), 0, "failed storm must not count");
+
+        // A storm that goes through counts every VM.
+        sq.node_rejoin(0).expect("rejoin");
+        sq.node_rejoin(1).expect("rejoin");
+        let _ = sq.boot_storm(0, 4).expect("storm");
+        assert_eq!(sq.image_popularity(0), 4);
+    }
+
+    #[test]
+    fn decay_popularity_cools_counts_geometrically() {
+        let mut sq = small_system(1);
+        sq.register(0).expect("register");
+        sq.register(1).expect("register");
+        for _ in 0..8 {
+            sq.boot(0, 0).expect("boot");
+        }
+        sq.boot(0, 1).expect("boot");
+        assert_eq!(sq.image_popularity(0), 8);
+
+        let cooled = sq.decay_popularity(0.5);
+        assert_eq!(sq.image_popularity(0), 4);
+        assert_eq!(sq.image_popularity(1), 0, "floor(1 * 0.5) cools to zero");
+        assert_eq!(cooled, 1);
+
+        // factor is clamped; 0 empties the signal.
+        let cooled = sq.decay_popularity(0.0);
+        assert_eq!(cooled, 1);
+        assert_eq!(sq.image_popularity(0), 0);
+    }
+
+    #[test]
+    fn once_hot_image_becomes_the_eviction_victim_after_decay() {
+        // Image 0 is hot early, then goes cold while image 1 keeps booting.
+        // Without decay the day-one burst outranks image 1 forever; with
+        // decay on a cadence, the budget pass evicts the image that
+        // *stopped* booting.
+        let corpus = Arc::new(Corpus::generate(CorpusConfig::test_corpus(8, 77)));
+        let mut probe = Squirrel::new(
+            SquirrelConfig { compute_nodes: 1, block_size: 16 * 1024, ..Default::default() },
+            Arc::clone(&corpus),
+        );
+        probe.register(1).expect("register");
+        let one_image = probe.ccvol_stats(0).expect("node").total_disk_bytes();
+        probe.register(0).expect("register");
+        let two_images = probe.ccvol_stats(0).expect("node").total_disk_bytes();
+
+        let mut sq = Squirrel::new(
+            SquirrelConfig {
+                compute_nodes: 1,
+                block_size: 16 * 1024,
+                // Room for image 1's cache alone, but not for both:
+                // registering both forces the budget pass to pick exactly
+                // one victim.
+                hoard_budget: HoardBudget {
+                    disk_bytes: (one_image + two_images) / 2,
+                    ddt_mem_bytes: 0,
+                },
+                ..Default::default()
+            },
+            corpus,
+        );
+        sq.register(0).expect("register");
+        sq.register(1).expect("register");
+        // Day-one burst on image 0, then silence; image 1 trickles daily.
+        for _ in 0..20 {
+            sq.boot(0, 0).expect("boot");
+        }
+        for _ in 0..6 {
+            sq.decay_popularity(0.5);
+            sq.boot(0, 1).expect("boot");
+        }
+        assert!(
+            sq.image_popularity(1) > sq.image_popularity(0),
+            "decay must let the steady image overtake the stale burst: {} vs {}",
+            sq.image_popularity(1),
+            sq.image_popularity(0)
+        );
+        let report = sq.enforce_hoard_budgets();
+        assert!(
+            report.evictions.iter().any(|e| e.image == 0),
+            "the once-hot, now-cold image is the victim: {report:?}"
+        );
+        assert!(
+            report.evictions.iter().all(|e| e.image != 1),
+            "the steadily-booting image survives: {report:?}"
+        );
     }
 }

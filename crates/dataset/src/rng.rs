@@ -86,6 +86,16 @@ impl Zipf {
         Zipf { n, s, h_n: h(n as f64 + 0.5) }
     }
 
+    /// The support size `n` (ranks are `[0, n)`).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
     /// Sample a rank in `[0, n)`; rank 0 is the most popular.
     pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
         let u = rng.unit_f64() * self.h_n;
